@@ -1,0 +1,238 @@
+package srmcoll
+
+// Benchmarks regenerating the paper's figures, one family per table/figure.
+// Each benchmark runs b.N simulated collective calls inside one cluster run
+// and reports the virtual time per operation as "sim-us/op" — the quantity
+// the paper's plots show. Wall-clock ns/op measures only the simulator's
+// own speed. Representative grid points are benchmarked here; the full
+// sweeps are produced by cmd/srmbench (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchOp drives b.N collective calls on a fresh cluster simulation.
+func benchOp(b *testing.B, impl Impl, nodes, tpn, size int, op func(*Comm, []byte, []byte)) {
+	b.Helper()
+	cl, err := NewCluster(ColonySP(nodes, tpn))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := cl.Run(impl, func(c *Comm) {
+		send := make([]byte, size)
+		recv := make([]byte, size)
+		for i := 0; i < b.N; i++ {
+			op(c, send, recv)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Time/float64(b.N), "sim-us/op")
+	b.ReportMetric(float64(res.Stats.PutBytes+res.Stats.MPIBytes)/float64(b.N), "comm-B/op")
+}
+
+func bcastOp(c *Comm, send, _ []byte) { c.Bcast(send, 0) }
+
+func reduceOp(c *Comm, send, recv []byte) {
+	var rb []byte
+	if c.Rank() == 0 {
+		rb = recv
+	}
+	c.Reduce(send, rb, Float64, Sum, 0)
+}
+
+func allreduceOp(c *Comm, send, recv []byte) { c.Allreduce(send, recv, Float64, Sum) }
+
+func barrierOp(c *Comm, _, _ []byte) { c.Barrier() }
+
+// allImpls runs the benchmark body once per implementation.
+func allImpls(b *testing.B, fn func(b *testing.B, impl Impl)) {
+	for _, impl := range []Impl{SRM, IBMMPI, MPICHMPI} {
+		impl := impl
+		b.Run(impl.String(), func(b *testing.B) { fn(b, impl) })
+	}
+}
+
+// sizeGrid is the per-figure size ladder (small / pipelined / large paths).
+var sizeGrid = []int{8, 4 << 10, 32 << 10, 512 << 10}
+
+// BenchmarkFig6Broadcast regenerates Figure 6 (and the ratio Figure 9):
+// broadcast time by message size on 64 CPUs (4 x 16).
+func BenchmarkFig6Broadcast(b *testing.B) {
+	for _, size := range sizeGrid {
+		size := size
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			allImpls(b, func(b *testing.B, impl Impl) {
+				benchOp(b, impl, 4, 16, size, bcastOp)
+			})
+		})
+	}
+}
+
+// BenchmarkFig7Reduce regenerates Figure 7 (and Figure 10): reduce time by
+// message size on 64 CPUs.
+func BenchmarkFig7Reduce(b *testing.B) {
+	for _, size := range sizeGrid {
+		size := size
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			allImpls(b, func(b *testing.B, impl Impl) {
+				benchOp(b, impl, 4, 16, size, reduceOp)
+			})
+		})
+	}
+}
+
+// BenchmarkFig8Allreduce regenerates Figure 8 (and Figure 11): allreduce
+// time by message size on 64 CPUs, spanning the 16 KB recursive-doubling
+// switch.
+func BenchmarkFig8Allreduce(b *testing.B) {
+	for _, size := range sizeGrid {
+		size := size
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			allImpls(b, func(b *testing.B, impl Impl) {
+				benchOp(b, impl, 4, 16, size, allreduceOp)
+			})
+		})
+	}
+}
+
+// BenchmarkFig12Barrier regenerates Figure 12: barrier time by processor
+// count (16-way nodes).
+func BenchmarkFig12Barrier(b *testing.B) {
+	for _, nodes := range []int{1, 4, 16} {
+		nodes := nodes
+		b.Run(fmt.Sprintf("procs=%d", nodes*16), func(b *testing.B) {
+			allImpls(b, func(b *testing.B, impl Impl) {
+				benchOp(b, impl, nodes, 16, 0, barrierOp)
+			})
+		})
+	}
+}
+
+// BenchmarkScale256 exercises the paper's largest configuration (256 CPUs)
+// at one representative size per operation.
+func BenchmarkScale256(b *testing.B) {
+	ops := map[string]func(*Comm, []byte, []byte){
+		"bcast": bcastOp, "reduce": reduceOp, "allreduce": allreduceOp,
+	}
+	for _, name := range []string{"bcast", "reduce", "allreduce"} {
+		op := ops[name]
+		b.Run(name, func(b *testing.B) {
+			allImpls(b, func(b *testing.B, impl Impl) {
+				benchOp(b, impl, 16, 16, 32<<10, op)
+			})
+		})
+	}
+}
+
+// BenchmarkAblationTreeKinds regenerates ablation A1 at one point: the
+// inter-node tree shape for a 32 KB broadcast on 64 CPUs (§2.1).
+func BenchmarkAblationTreeKinds(b *testing.B) {
+	kinds := []struct {
+		name string
+		v    Variant
+	}{
+		{"binomial", Variant{InterTree: Binomial}},
+		{"binary", Variant{InterTree: Binary}},
+		{"fibonacci", Variant{InterTree: Fibonacci}},
+	}
+	for _, k := range kinds {
+		k := k
+		b.Run(k.name, func(b *testing.B) {
+			cl, err := NewCluster(ColonySP(4, 16))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl.SetVariant(k.v)
+			res, err := cl.Run(SRM, func(c *Comm) {
+				buf := make([]byte, 32<<10)
+				for i := 0; i < b.N; i++ {
+					c.Bcast(buf, 0)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Time/float64(b.N), "sim-us/op")
+		})
+	}
+}
+
+// BenchmarkAblationSMPBcast regenerates ablation A2 at one point: flat vs
+// tree-based SMP broadcast on a single 16-way node (§2.2).
+func BenchmarkAblationSMPBcast(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		v    Variant
+	}{{"flat", Variant{}}, {"tree", Variant{TreeSMPBcst: true}}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			cl, err := NewCluster(ColonySP(1, 16))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl.SetVariant(variant.v)
+			res, err := cl.Run(SRM, func(c *Comm) {
+				buf := make([]byte, 32<<10)
+				for i := 0; i < b.N; i++ {
+					c.Bcast(buf, 0)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Time/float64(b.N), "sim-us/op")
+		})
+	}
+}
+
+// BenchmarkExtensionCollectives measures the gather/scatter/allgather
+// extension operations (one put per node slab through shared-memory
+// staging) against the message-passing baselines on 64 CPUs.
+func BenchmarkExtensionCollectives(b *testing.B) {
+	const blk = 4 << 10
+	ops := []struct {
+		name string
+		run  func(c *Comm)
+	}{
+		{"gather", func(c *Comm) {
+			var rb []byte
+			if c.Rank() == 0 {
+				rb = make([]byte, blk*c.Size())
+			}
+			c.Gather(make([]byte, blk), rb, 0)
+		}},
+		{"scatter", func(c *Comm) {
+			var sb []byte
+			if c.Rank() == 0 {
+				sb = make([]byte, blk*c.Size())
+			}
+			c.Scatter(sb, make([]byte, blk), 0)
+		}},
+		{"allgather", func(c *Comm) {
+			c.Allgather(make([]byte, blk), make([]byte, blk*c.Size()))
+		}},
+	}
+	for _, op := range ops {
+		op := op
+		b.Run(op.name, func(b *testing.B) {
+			allImpls(b, func(b *testing.B, impl Impl) {
+				cl, err := NewCluster(ColonySP(4, 16))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := cl.Run(impl, func(c *Comm) {
+					for i := 0; i < b.N; i++ {
+						op.run(c)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Time/float64(b.N), "sim-us/op")
+			})
+		})
+	}
+}

@@ -1,0 +1,131 @@
+// Command srmbench regenerates the paper's evaluation tables and figures
+// from the simulator. Every table or figure in the paper has a flag:
+//
+//	srmbench -fig 6          # Figure 6: SRM broadcast (absolute + vs MPI)
+//	srmbench -fig 9          # Figure 9: broadcast ratio vs IBM MPI and MPICH
+//	srmbench -fig 12         # Figure 12: barrier scaling
+//	srmbench -fig 2          # Figure 2: reduce data-movement counts
+//	srmbench -fig all        # everything
+//	srmbench -headline       # the §1/§3 improvement bands vs the paper's
+//	srmbench -ablation trees # design-choice ablations (see DESIGN.md)
+//	srmbench -quick          # scaled-down grid for a fast smoke run
+//	srmbench -csv            # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"srmcoll"
+	"srmcoll/internal/exp"
+	"srmcoll/internal/plot"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 2, 6, 7, 8, 9, 10, 11, 12, or all")
+	headline := flag.Bool("headline", false, "print the headline improvement table")
+	extension := flag.Bool("extension", false, "benchmark the extension collectives (gather/scatter/allgather)")
+	ablation := flag.String("ablation", "", "ablation to run: trees, smpbcast, yield, chunks, eager, interrupts, late, 15of16, daemons, model, all")
+	quick := flag.Bool("quick", false, "use a scaled-down sweep")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	charts := flag.Bool("plot", false, "render figures as terminal charts in addition to tables")
+	flag.Parse()
+
+	if *fig == "" && !*headline && *ablation == "" && !*extension {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g := exp.DefaultGrid()
+	if *quick {
+		g = exp.QuickGrid()
+	}
+	emit := func(t *exp.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Text())
+		}
+		if *charts {
+			x, ys := t.XY()
+			series := make([]plot.Series, len(ys))
+			for i := range ys {
+				series[i] = plot.Series{Name: t.Cols[1+i], Y: ys[i]}
+			}
+			fmt.Println(plot.Render(x, series, plot.Options{
+				Title: t.ID + " — " + t.Title,
+				LogX:  t.LogX,
+				LogY:  t.LogY,
+			}))
+		}
+	}
+
+	ops := map[string]exp.Op{"6": exp.Bcast, "7": exp.Reduce, "8": exp.Allreduce}
+	ratios := map[string]exp.Op{"9": exp.Bcast, "10": exp.Reduce, "11": exp.Allreduce}
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = []string{"2", "6", "7", "8", "9", "10", "11", "12"}
+	}
+	for _, f := range figs {
+		switch {
+		case f == "":
+		case f == "2":
+			emit(exp.Fig2())
+		case ops[f] != 0 || f == "6":
+			op := ops[f]
+			emit(exp.FigAbsolute(g, op))
+			emit(exp.FigCompareSmall(g, op))
+		case ratios[f] != 0 || f == "9":
+			op := ratios[f]
+			emit(exp.FigRatio(g, op, srmcoll.IBMMPI))
+			emit(exp.FigRatio(g, op, srmcoll.MPICHMPI))
+		case f == "12":
+			emit(exp.Fig12(g))
+		default:
+			fmt.Fprintf(os.Stderr, "srmbench: unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+
+	if *headline {
+		fmt.Print(exp.HeadlineText(exp.Headline(g)))
+	}
+	if *extension {
+		emit(exp.Extension(g))
+	}
+
+	abls := []string{*ablation}
+	if *ablation == "all" {
+		abls = []string{"trees", "smpbcast", "yield", "chunks", "eager", "interrupts", "late", "15of16", "daemons", "model"}
+	}
+	for _, a := range abls {
+		switch a {
+		case "":
+		case "trees":
+			emit(exp.AblationTrees(g, exp.Bcast))
+			emit(exp.AblationTrees(g, exp.Reduce))
+		case "smpbcast":
+			emit(exp.AblationSMPBcast(g))
+		case "yield":
+			emit(exp.AblationYield(g, exp.Bcast))
+		case "chunks":
+			emit(exp.AblationChunks(g))
+		case "eager":
+			emit(exp.AblationEager(g))
+		case "interrupts":
+			emit(exp.AblationInterrupts(g, exp.Bcast))
+			emit(exp.AblationInterrupts(g, exp.Reduce))
+		case "late":
+			emit(exp.AblationLateArrival(g))
+		case "15of16":
+			emit(exp.AblationFifteenOfSixteen(g))
+		case "daemons":
+			emit(exp.AblationDaemons(g))
+		case "model":
+			fmt.Print(exp.ModelText(exp.AblationModel(g)))
+		default:
+			fmt.Fprintf(os.Stderr, "srmbench: unknown ablation %q\n", a)
+			os.Exit(2)
+		}
+	}
+}

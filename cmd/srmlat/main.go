@@ -1,0 +1,189 @@
+// Command srmlat microbenchmarks the simulated cluster's substrates — the
+// numbers the cost model is calibrated around. Use it to see what the
+// collectives are built from: shared-memory copy latency/bandwidth, flag
+// signalling, RMA put/get latency and bandwidth, atomic RMW round trips,
+// and MPI point-to-point latency under both protocol policies.
+//
+//	srmlat            # ColonySP node
+//	srmlat -via       # commodity VIA-class cluster preset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"srmcoll"
+	"srmcoll/internal/machine"
+	"srmcoll/internal/mpi"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/shm"
+	"srmcoll/internal/sim"
+)
+
+func main() {
+	via := flag.Bool("via", false, "use the VIA-class commodity preset")
+	flag.Parse()
+	cfg := machine.ColonySP(2, 2)
+	name := "ColonySP"
+	if *via {
+		cfg = machine.ViaCluster(2, 2)
+		name = "ViaCluster"
+	}
+
+	fmt.Printf("substrate microbenchmarks, %s preset (simulated us)\n\n", name)
+
+	fmt.Println("shared memory (intra-node):")
+	fmt.Printf("  flag signal (store -> observe)   %8.2f\n", flagLatency(cfg))
+	for _, n := range []int{8, 4096, 64 << 10, 1 << 20} {
+		t := copyTime(cfg, n)
+		fmt.Printf("  memcpy %-8s                  %10.2f   (%7.1f MB/s)\n",
+			fmt.Sprintf("%dB", n), t, mbps(n, t))
+	}
+
+	fmt.Println("\nRMA (LAPI-like, inter-node):")
+	fmt.Printf("  put latency (0B, polled)         %8.2f\n", putTime(cfg, 0))
+	for _, n := range []int{4096, 64 << 10, 1 << 20} {
+		t := putTime(cfg, n)
+		fmt.Printf("  put %-8s                     %10.2f   (%7.1f MB/s)\n",
+			fmt.Sprintf("%dB", n), t, mbps(n, t))
+	}
+	fmt.Printf("  get round trip (8B)              %8.2f\n", getTime(cfg, 8))
+	fmt.Printf("  rmw fetch-and-add round trip     %8.2f\n", rmwTime(cfg))
+
+	fmt.Println("\nMPI point-to-point (inter-node, 0B..rendezvous):")
+	for _, proto := range []struct {
+		name  string
+		proto mpi.Protocol
+	}{{"ibm-mpi", mpi.IBM()}, {"mpich", mpi.MPICH()}} {
+		for _, n := range []int{0, 4096, 64 << 10} {
+			t := p2pTime(cfg, proto.proto, n)
+			mode := "eager"
+			if n > proto.proto.EagerLimit(4) {
+				mode = "rndv"
+			}
+			fmt.Printf("  %-8s send %-8s %-5s     %10.2f   (%7.1f MB/s)\n",
+				proto.name, fmt.Sprintf("%dB", n), mode, t, mbps(n, t))
+		}
+	}
+
+	fmt.Println("\ncollective one-liners on 4x16 (for scale):")
+	cl, err := srmcoll.NewCluster(srmcoll.ColonySP(4, 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *via {
+		cl, _ = srmcoll.NewCluster(srmcoll.ViaCluster(4, 16))
+	}
+	res, err := cl.Run(srmcoll.SRM, func(c *srmcoll.Comm) { c.Barrier() })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  srm barrier (64 ranks)           %8.2f\n", res.Time)
+}
+
+func mbps(n int, us float64) float64 {
+	if us <= 0 {
+		return 0
+	}
+	return float64(n) / us // bytes/us == MB/s
+}
+
+// flagLatency measures a shared-memory flag store-to-observe.
+func flagLatency(cfg machine.Config) float64 {
+	env := sim.NewEnv()
+	m := machine.New(env, cfg)
+	f := shm.NewFlag(m, 0)
+	var at float64
+	env.Spawn("w", func(p *sim.Proc) { f.WaitFor(p, 1); at = p.Now() })
+	env.Spawn("s", func(p *sim.Proc) { f.Set(1) })
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return at
+}
+
+func copyTime(cfg machine.Config, n int) float64 {
+	env := sim.NewEnv()
+	m := machine.New(env, cfg)
+	var took float64
+	env.Spawn("c", func(p *sim.Proc) {
+		m.Memcpy(p, 0, make([]byte, n), make([]byte, n))
+		took = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return took
+}
+
+func putTime(cfg machine.Config, n int) float64 {
+	env := sim.NewEnv()
+	m := machine.New(env, cfg)
+	d := rma.NewDomain(m)
+	c := d.NewCounter(0)
+	var at float64
+	env.Spawn("recv", func(p *sim.Proc) { d.Endpoint(2).Waitcntr(p, c, 1); at = p.Now() })
+	env.Spawn("send", func(p *sim.Proc) {
+		d.Endpoint(0).Put(p, d.Endpoint(2), make([]byte, n), make([]byte, n), nil, c, nil)
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return at
+}
+
+func getTime(cfg machine.Config, n int) float64 {
+	env := sim.NewEnv()
+	m := machine.New(env, cfg)
+	d := rma.NewDomain(m)
+	var took float64
+	env.Spawn("o", func(p *sim.Proc) {
+		d.Endpoint(0).GetBlocking(p, d.Endpoint(2), make([]byte, n), make([]byte, n))
+		took = p.Now()
+	})
+	env.Spawn("t", func(p *sim.Proc) {
+		cn := d.NewCounter(0)
+		d.Endpoint(2).Waitcntr(p, cn, 0)
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return took
+}
+
+func rmwTime(cfg machine.Config) float64 {
+	env := sim.NewEnv()
+	m := machine.New(env, cfg)
+	d := rma.NewDomain(m)
+	w := d.Endpoint(2).NewWord(0)
+	var took float64
+	env.Spawn("o", func(p *sim.Proc) {
+		d.Endpoint(0).Rmw(p, w, rma.FetchAndAdd, 1, 0)
+		took = p.Now()
+	})
+	env.Spawn("t", func(p *sim.Proc) {
+		cn := d.NewCounter(0)
+		d.Endpoint(2).Waitcntr(p, cn, 0)
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return took
+}
+
+func p2pTime(cfg machine.Config, proto mpi.Protocol, n int) float64 {
+	env := sim.NewEnv()
+	m := machine.New(env, cfg)
+	w := mpi.NewWorld(m, proto)
+	var at float64
+	env.Spawn("recv", func(p *sim.Proc) {
+		w.Rank(2).Recv(p, 0, 1, make([]byte, n))
+		at = p.Now()
+	})
+	env.Spawn("send", func(p *sim.Proc) { w.Rank(0).Send(p, 2, 1, make([]byte, n)) })
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return at
+}

@@ -1,0 +1,60 @@
+// Command srmtree prints how a collective-communication tree embeds into
+// an SMP cluster (the paper's Figure 1: a 128-processor binomial tree in
+// an 8-node 16-way cluster, by default).
+//
+//	srmtree -nodes 8 -tpn 16 -root 0 -kind binomial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"srmcoll/internal/tree"
+)
+
+func kindOf(name string) (tree.Kind, error) {
+	switch name {
+	case "binomial":
+		return tree.Binomial, nil
+	case "binary":
+		return tree.Binary, nil
+	case "fibonacci":
+		return tree.Fibonacci, nil
+	case "flat":
+		return tree.Flat, nil
+	}
+	return 0, fmt.Errorf("unknown tree kind %q", name)
+}
+
+func main() {
+	nodes := flag.Int("nodes", 8, "SMP nodes in the cluster")
+	tpn := flag.Int("tpn", 16, "tasks per node")
+	root := flag.Int("root", 0, "root rank of the collective")
+	kind := flag.String("kind", "binomial", "tree kind: binomial, binary, fibonacci, flat")
+	flag.Parse()
+
+	k, err := kindOf(*kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srmtree:", err)
+		os.Exit(2)
+	}
+	if *root < 0 || *root >= *nodes**tpn {
+		fmt.Fprintf(os.Stderr, "srmtree: root %d out of range for %d ranks\n", *root, *nodes**tpn)
+		os.Exit(2)
+	}
+	e := tree.Embed(*nodes, *tpn, k, k, *root)
+
+	fmt.Printf("%d-processor %s tree embedded in a %d-node %d-way SMP cluster (Figure 1)\n\n",
+		*nodes**tpn, k, *nodes, *tpn)
+	fmt.Printf("inter-node tree over masters (rounds %d):\n", e.Inter.Rounds())
+	fmt.Print(tree.Render(e.Inter, func(nd int) string {
+		return fmt.Sprintf("node %d (master rank %d)", nd, e.Masters[nd])
+	}))
+	fmt.Printf("\nintra-node tree on node %d (rounds %d):\n", e.Inter.Root, e.Intra[e.Inter.Root].Rounds())
+	fmt.Print(tree.Render(e.Intra[e.Inter.Root], func(local int) string {
+		return fmt.Sprintf("rank %d", e.Inter.Root**tpn+local)
+	}))
+	fmt.Printf("\ntotal one-port rounds: %d (flat %d-rank binomial: %d)\n",
+		e.Rounds(), *nodes**tpn, tree.Log2Ceil(*nodes**tpn))
+}

@@ -1,0 +1,120 @@
+package srmcoll_test
+
+import (
+	"fmt"
+
+	"srmcoll"
+)
+
+// The basic SPMD pattern: build a cluster, run a body on every rank, use
+// the collectives through the Comm handle.
+func Example() {
+	cluster, err := srmcoll.NewCluster(srmcoll.ColonySP(2, 4))
+	if err != nil {
+		panic(err)
+	}
+	res, err := cluster.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+		sum := c.AllreduceFloat64([]float64{1}, srmcoll.Sum)
+		if c.Rank() == 0 {
+			fmt.Printf("ranks: %.0f\n", sum[0])
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deterministic:", res.Time > 0)
+	// Output:
+	// ranks: 8
+	// deterministic: true
+}
+
+// Broadcast from an arbitrary root; the same program runs unchanged over
+// the message-passing baselines for comparison.
+func ExampleComm_Bcast() {
+	cluster, _ := srmcoll.NewCluster(srmcoll.ColonySP(2, 2))
+	var srm, mpi float64
+	for _, impl := range []srmcoll.Impl{srmcoll.SRM, srmcoll.IBMMPI} {
+		res, err := cluster.Run(impl, func(c *srmcoll.Comm) {
+			buf := make([]byte, 4096)
+			if c.Rank() == 3 {
+				for i := range buf {
+					buf[i] = 7
+				}
+			}
+			c.Bcast(buf, 3)
+			if buf[100] != 7 {
+				panic("corrupted")
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		if impl == srmcoll.SRM {
+			srm = res.Time
+		} else {
+			mpi = res.Time
+		}
+	}
+	fmt.Println("srm faster:", srm < mpi)
+	// Output: srm faster: true
+}
+
+// Reduce delivers the combined vector only at the root.
+func ExampleComm_Reduce() {
+	cluster, _ := srmcoll.NewCluster(srmcoll.ColonySP(1, 4))
+	cluster.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+		v := []float64{float64(c.Rank() + 1)}
+		out := c.ReduceFloat64(v, srmcoll.Sum, 2)
+		if c.Rank() == 2 {
+			fmt.Printf("sum at root: %.0f\n", out[0])
+		}
+	})
+	// Output: sum at root: 10
+}
+
+// Sub carves a communicator out of a subset of ranks — the paper's §5
+// "arbitrary MPI task groups" extension.
+func ExampleComm_Sub() {
+	cluster, _ := srmcoll.NewCluster(srmcoll.ColonySP(2, 2))
+	cluster.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+		if c.Rank()%2 != 0 {
+			return // odd ranks sit out
+		}
+		evens := c.Sub([]int{0, 2})
+		sum := evens.AllreduceFloat64([]float64{float64(c.Rank())}, srmcoll.Sum)
+		if c.Rank() == 0 {
+			fmt.Printf("group of %d sums to %.0f\n", evens.Size(), sum[0])
+		}
+	})
+	// Output: group of 2 sums to 2
+}
+
+// SharedCounter exposes LAPI-style atomic read-modify-write for dynamic
+// work distribution.
+func ExampleComm_SharedCounter() {
+	cluster, _ := srmcoll.NewCluster(srmcoll.ColonySP(2, 2))
+	cluster.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+		next := c.SharedCounter("items", 0, 0)
+		mine := 0
+		for next.FetchAdd(c, 1) < 10 {
+			mine++ // claim one of ten work items
+		}
+		total := c.AllreduceFloat64([]float64{float64(mine)}, srmcoll.Sum)
+		if c.Rank() == 0 {
+			fmt.Printf("items processed: %.0f\n", total[0])
+		}
+	})
+	// Output: items processed: 10
+}
+
+// Allgather assembles a distributed vector on every rank.
+func ExampleComm_Allgather() {
+	cluster, _ := srmcoll.NewCluster(srmcoll.ColonySP(1, 3))
+	cluster.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+		full := c.AllgatherFloat64([]float64{float64(c.Rank() * 10)})
+		if c.Rank() == 1 {
+			fmt.Println(full)
+		}
+	})
+	// Output: [0 10 20]
+}

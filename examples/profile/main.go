@@ -1,0 +1,93 @@
+// Profile sweeps every collective across message sizes on a chosen cluster
+// shape and prints a comparison table for the three implementations — the
+// way a user would evaluate SRM for their own machine before adopting it.
+// It also demonstrates a second machine preset (a commodity VIA cluster).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"srmcoll"
+)
+
+var sizes = []int{8, 512, 4 << 10, 32 << 10, 256 << 10, 1 << 20}
+
+func main() {
+	nodes := flag.Int("nodes", 4, "SMP nodes")
+	tpn := flag.Int("tpn", 8, "tasks per node")
+	via := flag.Bool("via", false, "profile the commodity VIA cluster preset instead of the SP")
+	flag.Parse()
+
+	cfg := srmcoll.ColonySP(*nodes, *tpn)
+	name := "ColonySP"
+	if *via {
+		cfg = srmcoll.ViaCluster(*nodes, *tpn)
+		name = "ViaCluster"
+	}
+	cluster, err := srmcoll.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	impls := []srmcoll.Impl{srmcoll.SRM, srmcoll.IBMMPI, srmcoll.MPICHMPI}
+
+	fmt.Printf("%s, %d nodes x %d tasks = %d ranks; times in simulated us per call\n",
+		name, *nodes, *tpn, cfg.P())
+
+	fmt.Printf("\n%-10s", "barrier")
+	for _, impl := range impls {
+		fmt.Printf("  %s=%.1f", impl, measure(cluster, impl, func(c *srmcoll.Comm) { c.Barrier() }))
+	}
+	fmt.Println()
+
+	type op struct {
+		name string
+		run  func(c *srmcoll.Comm, size int)
+	}
+	ops := []op{
+		{"bcast", func(c *srmcoll.Comm, size int) {
+			c.Bcast(make([]byte, size), 0)
+		}},
+		{"reduce", func(c *srmcoll.Comm, size int) {
+			var rb []byte
+			if c.Rank() == 0 {
+				rb = make([]byte, size)
+			}
+			c.Reduce(make([]byte, size), rb, srmcoll.Float64, srmcoll.Sum, 0)
+		}},
+		{"allreduce", func(c *srmcoll.Comm, size int) {
+			c.Allreduce(make([]byte, size), make([]byte, size), srmcoll.Float64, srmcoll.Sum)
+		}},
+	}
+	ops = append(ops,
+		op{"allgather", func(c *srmcoll.Comm, size int) {
+			c.Allgather(make([]byte, size/max(c.Size(), 1)), make([]byte, size/max(c.Size(), 1)*c.Size()))
+		}},
+		op{"scan", func(c *srmcoll.Comm, size int) {
+			c.Scan(make([]byte, size), make([]byte, size), srmcoll.Float64, srmcoll.Sum)
+		}},
+	)
+	for _, o := range ops {
+		fmt.Printf("\n%s:\n%10s  %10s  %10s  %10s  %8s\n",
+			o.name, "bytes", "srm", "ibm-mpi", "mpich", "srm/ibm")
+		for _, size := range sizes {
+			var t [3]float64
+			for i, impl := range impls {
+				size := size
+				t[i] = measure(cluster, impl, func(c *srmcoll.Comm) { o.run(c, size) })
+			}
+			fmt.Printf("%10d  %10.1f  %10.1f  %10.1f  %7.1f%%\n",
+				size, t[0], t[1], t[2], 100*t[0]/t[1])
+		}
+	}
+}
+
+// measure returns the simulated time of one collective call.
+func measure(cl *srmcoll.Cluster, impl srmcoll.Impl, body func(*srmcoll.Comm)) float64 {
+	res, err := cl.Run(impl, body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Time
+}

@@ -1,0 +1,3 @@
+module srmcoll
+
+go 1.22

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/shm"
+	"srmcoll/internal/sim"
+	"srmcoll/internal/tree"
+)
+
+// allreduceState is the shared state of one allreduce (§2.2, §2.4):
+//
+//   - up to 16 KB: SMP reduce on each node, then an integrated pairwise
+//     exchange based on recursive doubling between the node masters, then
+//     an SMP broadcast of the result;
+//   - above 16 KB: reduce-then-broadcast fused into the four-stage chunk
+//     pipeline of Figure 5 (SMP reduce / inter-node reduce / inter-node
+//     broadcast / SMP broadcast all overlapping).
+//
+// Node-indexed slices use the layout's participating node index; the
+// master of node index x is its first group member, lay.local[x][0].
+type allreduceState struct {
+	g     *Group
+	size  int
+	ds    dataspec
+	small bool
+	sp    []span
+
+	rn       []*redNode   // per-node SMP reduce machinery
+	resBuf   [][]byte     // per node: master's receive buffer (the result lands here)
+	resReady []*sim.Event // per node: resBuf registered
+	pub      []publisher  // per-node SMP distribution of the result
+
+	// Small path: recursive doubling among masters, with extra nodes
+	// (beyond the largest power of two) folded in and out.
+	pow      int
+	foldSlot [][]byte
+	foldArr  []*rma.Counter
+	rdSlot   [][][]byte // [node][round]
+	rdArr    [][]*rma.Counter
+	resArr   []*rma.Counter // result landed back at an extra node
+
+	// Large path: binomial reduce to the first participating node fused
+	// with the broadcast back.
+	emb        gEmbed
+	pslot      [][2][]byte
+	arr        [][2]*rma.Counter
+	credit     []*rma.Counter
+	chunkDone  *shm.Flag // at the root master: chunks fully reduced
+	bArr       [][2]*rma.Counter
+	helperDone []*sim.Event
+}
+
+func newAllreduceState(g *Group, size int, ds dataspec) *allreduceState {
+	s := g.s
+	cfg := s.m.Cfg
+	a := &allreduceState{
+		g:     g,
+		size:  size,
+		ds:    ds,
+		small: size <= cfg.SRMAllreduceRD,
+	}
+	chunk := size
+	if !a.small {
+		// "Pipelining over the entire message range" (§2.4): keep at least
+		// four chunks in flight until the full large chunk size pays off.
+		chunk = min(cfg.SRMLargeChunk, max((size+3)/4, cfg.SRMSmallChunk))
+		if ds.dt.Size() > 0 {
+			chunk -= chunk % ds.dt.Size()
+		}
+	}
+	a.sp = chunks(size, max(chunk, 1))
+	nn := len(g.lay.nodes)
+	chunkBytes := a.sp[0].n
+	a.rn = make([]*redNode, nn)
+	a.resBuf = make([][]byte, nn)
+	a.resReady = make([]*sim.Event, nn)
+	a.pub = make([]publisher, nn)
+	for x, nd := range g.lay.nodes {
+		a.rn[x] = s.newRedNode(nd, 0, len(g.lay.local[x]), chunkBytes)
+		a.resReady[x] = s.m.Env.NewEvent()
+		a.pub[x] = s.newPublisher(nd, 0, len(g.lay.local[x]), chunkBytes)
+	}
+	if a.small {
+		a.pow = 1
+		for a.pow*2 <= nn {
+			a.pow *= 2
+		}
+		rounds := tree.Log2Ceil(a.pow)
+		a.foldSlot = make([][]byte, nn)
+		a.foldArr = make([]*rma.Counter, nn)
+		a.rdSlot = make([][][]byte, nn)
+		a.rdArr = make([][]*rma.Counter, nn)
+		a.resArr = make([]*rma.Counter, nn)
+		for x := 0; x < nn; x++ {
+			a.foldSlot[x] = make([]byte, size)
+			a.foldArr[x] = s.dom.NewCounter(0)
+			a.resArr[x] = s.dom.NewCounter(0)
+			a.rdSlot[x] = make([][]byte, rounds)
+			a.rdArr[x] = make([]*rma.Counter, rounds)
+			for r := 0; r < rounds; r++ {
+				a.rdSlot[x][r] = make([]byte, size)
+				a.rdArr[x][r] = s.dom.NewCounter(0)
+			}
+		}
+	} else {
+		a.emb = g.lay.embed(s.opt.InterTree, s.opt.IntraTree, g.lay.local[0][0])
+		a.pslot = make([][2][]byte, nn)
+		a.arr = make([][2]*rma.Counter, nn)
+		a.credit = make([]*rma.Counter, nn)
+		a.bArr = make([][2]*rma.Counter, nn)
+		a.helperDone = make([]*sim.Event, nn)
+		a.chunkDone = shm.NewFlag(s.m, g.lay.nodes[0])
+		for x := 0; x < nn; x++ {
+			a.pslot[x] = [2][]byte{make([]byte, chunkBytes), make([]byte, chunkBytes)}
+			a.arr[x] = [2]*rma.Counter{s.dom.NewCounter(0), s.dom.NewCounter(0)}
+			a.credit[x] = s.dom.NewCounter(2)
+			a.bArr[x] = [2]*rma.Counter{s.dom.NewCounter(0), s.dom.NewCounter(0)}
+			a.helperDone[x] = s.m.Env.NewEvent()
+		}
+	}
+	return a
+}
+
+// Allreduce combines send buffers across all ranks and leaves the full
+// result in every rank's recv. send and recv must not overlap and must
+// have equal length.
+func (s *SRM) Allreduce(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op) {
+	s.World().Allreduce(p, rank, send, recv, dt, op)
+}
+
+// Allreduce combines the group members' send buffers into every member's
+// recv.
+func (g *Group) Allreduce(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op) {
+	ds := dataspec{dt: dt, op: op}
+	if err := ds.validate(len(send)); err != nil {
+		panic(err)
+	}
+	if len(recv) != len(send) {
+		panic(fmt.Sprintf("core: Allreduce recv %d bytes, want %d", len(recv), len(send)))
+	}
+	st, release := g.acquire(rank, func() any { return newAllreduceState(g, len(send), ds) })
+	defer release()
+	a := st.(*allreduceState)
+	if a.size != len(send) || a.ds != ds {
+		panic(fmt.Sprintf("core: Allreduce mismatch at rank %d", rank))
+	}
+	a.run(p, rank, send, recv)
+}
+
+func (a *allreduceState) run(p *sim.Proc, rank int, send, recv []byte) {
+	g := a.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if l != 0 {
+		// Workers contribute every chunk to the SMP reduce, then consume
+		// the distributed result.
+		a.rn[x].worker(p, l, send, a.sp, a.ds)
+		for k, c := range a.sp {
+			a.pub[x].Consume(p, l, k, recv[c.off:c.off+c.n])
+		}
+		return
+	}
+	a.resBuf[x] = recv
+	a.resReady[x].Trigger()
+	ep := g.s.dom.Endpoint(rank)
+	enable := g.s.quietNet(ep, a.size)
+	defer enable()
+	if a.small {
+		a.masterSmall(p, ep, x, send, recv)
+	} else {
+		a.masterLarge(p, ep, x, send, recv)
+	}
+}
+
+// master returns the master rank of participating node index x.
+func (a *allreduceState) master(x int) *rma.Endpoint {
+	return a.g.s.dom.Endpoint(a.g.lay.local[x][0])
+}
+
+// masterSmall: SMP reduce into recv, recursive-doubling exchange between
+// masters (§2.4 Allreduce), SMP broadcast of the result.
+func (a *allreduceState) masterSmall(p *sim.Proc, ep *rma.Endpoint, x int, send, recv []byte) {
+	g := a.g
+	s := g.s
+	nn := len(g.lay.nodes)
+	have := a.rn[x].masterChunk(p, 0, recv, send, a.ds)
+	cur := func() []byte {
+		if have {
+			return recv
+		}
+		return send
+	}
+	combine := func(src []byte) {
+		if a.size > 0 {
+			if have {
+				a.ds.acc(recv, src)
+			} else {
+				a.ds.into(recv, send, src)
+			}
+			s.combineCharge(p, a.size, a.ds.dt.Size())
+		}
+		have = true
+	}
+	if x >= a.pow {
+		// Fold out: hand the node partial to the peer, then receive the
+		// final result straight into recv.
+		peer := x - a.pow
+		ep.Put(p, a.master(peer), a.foldSlot[peer], cur(), nil, a.foldArr[peer], nil)
+		ep.Waitcntr(p, a.resArr[x], 1)
+	} else {
+		if x+a.pow < nn {
+			ep.Waitcntr(p, a.foldArr[x], 1)
+			combine(a.foldSlot[x])
+		}
+		for r := 0; r < len(a.rdArr[x]); r++ {
+			partner := x ^ (1 << r)
+			ep.Put(p, a.master(partner), a.rdSlot[partner][r], cur(),
+				nil, a.rdArr[partner][r], nil)
+			ep.Waitcntr(p, a.rdArr[x][r], 1)
+			combine(a.rdSlot[x][r])
+		}
+		if x+a.pow < nn {
+			// Return the full result to the folded-out node's recv buffer.
+			extra := x + a.pow
+			p.Wait(a.resReady[extra])
+			ep.Put(p, a.master(extra), a.resBuf[extra], cur(), nil, a.resArr[extra], nil)
+		}
+		if !have && a.size > 0 {
+			s.m.Memcpy(p, g.lay.nodes[x], recv, send) // single node, single task
+		}
+	}
+	a.pub[x].Publish(p, 0, recv, false)
+	a.pub[x].waitConsumed(p, 0)
+}
+
+// masterLarge: the four-stage pipeline of Figure 5. The master's main
+// process runs the reduce stages; a helper process runs the broadcast
+// stages so a chunk can be broadcast while the next one is still being
+// reduced.
+func (a *allreduceState) masterLarge(p *sim.Proc, ep *rma.Endpoint, x int, send, recv []byte) {
+	g := a.g
+	s := g.s
+	atRoot := x == a.emb.inter.Root
+	interKids := a.emb.inter.Children[x]
+
+	// Broadcast-side helper.
+	s.m.Env.Spawn(fmt.Sprintf("srm-arb-%d", x), func(hp *sim.Proc) {
+		defer a.helperDone[x].Trigger()
+		for k, c := range a.sp {
+			if atRoot {
+				a.chunkDone.WaitUntil(hp, func(v int) bool { return v >= k+1 })
+			} else {
+				a.bArr[x][k%2].WaitValue(hp, 1)
+			}
+			src := recv[c.off : c.off+c.n]
+			for _, child := range interKids {
+				hp.Wait(a.resReady[child])
+				dst := a.resBuf[child][c.off : c.off+c.n]
+				ep.Put(hp, a.master(child), dst, src, nil, a.bArr[child][k%2], nil)
+			}
+			a.pub[x].Publish(hp, k, src, false)
+		}
+		a.pub[x].waitConsumed(hp, len(a.sp)-1)
+	})
+
+	// Reduce side (same structure as reduceState.master, targeting recv).
+	for k, c := range a.sp {
+		tchunk := recv[c.off : c.off+c.n]
+		own := send[c.off : c.off+c.n]
+		have := a.rn[x].masterChunk(p, k, tchunk, own, a.ds)
+		for _, child := range interKids {
+			ep.Waitcntr(p, a.arr[child][k%2], 1)
+			slot := a.pslot[child][k%2][:c.n]
+			if c.n > 0 {
+				if have {
+					a.ds.acc(tchunk, slot)
+				} else {
+					a.ds.into(tchunk, own, slot)
+				}
+				s.combineCharge(p, c.n, a.ds.dt.Size())
+			}
+			have = true
+			if k+2 < len(a.sp) {
+				ep.PutZero(p, a.master(child), a.credit[child])
+			}
+		}
+		if !atRoot {
+			src := tchunk
+			if !have {
+				src = own
+			}
+			ep.Waitcntr(p, a.credit[x], 1)
+			parent := a.master(a.emb.inter.Parent[x])
+			ep.Put(p, parent, a.pslot[x][k%2][:c.n], src, nil, a.arr[x][k%2], nil)
+		} else {
+			if !have && c.n > 0 {
+				s.m.Memcpy(p, g.lay.nodes[x], tchunk, own)
+			}
+			a.chunkDone.Set(k + 1)
+		}
+	}
+	p.Wait(a.helperDone[x])
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/rma"
+	"srmcoll/internal/shm"
+	"srmcoll/internal/sim"
+)
+
+// alltoallState implements a hierarchical all-to-all in the SRM style:
+// members aggregate their outgoing blocks per destination node in shared
+// memory, the masters exchange one node-to-node slab per peer (pairwise
+// puts at final offsets), and members pick their incoming blocks out of
+// shared memory. The network carries n*(n-1) slabs instead of the P*(P-1)
+// messages of rank-pairwise exchanges.
+// alltoallDirectMin is the block size above which the staged hierarchical
+// exchange stops paying: the wire is bandwidth-bound either way, so blocks
+// go straight into the destination user buffers (zero-copy, as in the
+// Fig. 4 large-message broadcast).
+const alltoallDirectMin = 2048
+
+type alltoallState struct {
+	g      *Group
+	blk    int
+	direct bool
+
+	// out[x][y]: slab of blocks from node x's members to node y's members,
+	// laid out [src local][dst local]. in[y][x] aliases the same buffers
+	// conceptually; the put writes out[x][y] into in-place buffers owned
+	// by node y.
+	out [][][]byte // allocated at node x, indexed [x][y]
+	in  [][][]byte // allocated at node y, indexed [y][x]
+
+	staged []*shm.FlagSet   // per node: member finished staging
+	ready  []*shm.Flag      // per node: all inbound slabs landed
+	arr    [][]*rma.Counter // [dst node][src node] slab arrivals
+	pos    map[int]int      // member rank -> group rank
+
+	// Direct path: per-member receive buffers and block-arrival counters.
+	recvBuf    [][]byte
+	registered []*sim.Event
+	blkArr     []*rma.Counter
+}
+
+func newAlltoallState(g *Group, blk int) *alltoallState {
+	s := g.s
+	nn := len(g.lay.nodes)
+	st := &alltoallState{
+		g:      g,
+		blk:    blk,
+		out:    make([][][]byte, nn),
+		in:     make([][][]byte, nn),
+		staged: make([]*shm.FlagSet, nn),
+		ready:  make([]*shm.Flag, nn),
+		arr:    make([][]*rma.Counter, nn),
+		pos:    make(map[int]int, len(g.lay.members)),
+	}
+	for i, r := range g.lay.members {
+		st.pos[r] = i
+	}
+	st.direct = blk > alltoallDirectMin
+	if st.direct {
+		st.recvBuf = make([][]byte, len(g.lay.members))
+		st.registered = make([]*sim.Event, len(g.lay.members))
+		st.blkArr = make([]*rma.Counter, len(g.lay.members))
+		for i := range g.lay.members {
+			st.registered[i] = s.m.Env.NewEvent()
+			st.blkArr[i] = s.dom.NewCounter(0)
+		}
+		return st
+	}
+	for x, nd := range g.lay.nodes {
+		st.out[x] = make([][]byte, nn)
+		st.in[x] = make([][]byte, nn)
+		st.arr[x] = make([]*rma.Counter, nn)
+		for y := range g.lay.nodes {
+			st.out[x][y] = make([]byte, len(g.lay.local[x])*len(g.lay.local[y])*blk)
+			st.in[x][y] = make([]byte, len(g.lay.local[y])*len(g.lay.local[x])*blk)
+			st.arr[x][y] = s.dom.NewCounter(0)
+		}
+		st.staged[x] = shm.NewFlagSet(s.m, nd, len(g.lay.local[x]))
+		st.ready[x] = shm.NewFlag(s.m, nd)
+	}
+	return st
+}
+
+// Alltoall exchanges blocks between all members: member i's send holds one
+// blk-byte block per member (group order), and its recv receives member
+// j's block for i at group offset j. len(send) = len(recv) = Size()*blk.
+func (g *Group) Alltoall(p *sim.Proc, rank int, send, recv []byte) {
+	if len(send) != len(recv) {
+		panic(fmt.Sprintf("core: Alltoall send %d / recv %d bytes", len(send), len(recv)))
+	}
+	if len(send)%max(g.Size(), 1) != 0 {
+		panic(fmt.Sprintf("core: Alltoall buffer %d not divisible by group size %d",
+			len(send), g.Size()))
+	}
+	blk := len(send) / g.Size()
+	st, release := g.acquire(rank, func() any { return newAlltoallState(g, blk) })
+	defer release()
+	a := st.(*alltoallState)
+	if a.blk != blk {
+		panic(fmt.Sprintf("core: Alltoall mismatch at rank %d", rank))
+	}
+	if a.direct {
+		a.runDirect(p, rank, send, recv)
+	} else {
+		a.run(p, rank, send, recv)
+	}
+}
+
+// runDirect is the large-block path: every member writes each outgoing
+// block straight into its destination's receive buffer — a put across
+// nodes, a shared-memory copy within one — and waits until its own P-1
+// inbound blocks have landed.
+func (a *alltoallState) runDirect(p *sim.Proc, rank int, send, recv []byte) {
+	g := a.g
+	s := g.s
+	gi := a.pos[rank]
+	P := len(g.lay.members)
+	blk := a.blk
+	node := g.lay.nodes[g.lay.ni[rank]]
+	a.recvBuf[gi] = recv
+	a.registered[gi].Trigger()
+	// Own block stays local.
+	s.m.Memcpy(p, node, recv[gi*blk:(gi+1)*blk], send[gi*blk:(gi+1)*blk])
+	ep := s.dom.Endpoint(rank)
+	for step := 1; step < P; step++ {
+		gj := (gi + step) % P
+		target := g.lay.members[gj]
+		p.Wait(a.registered[gj])
+		dst := a.recvBuf[gj][gi*blk : (gi+1)*blk]
+		src := send[gj*blk : (gj+1)*blk]
+		if g.s.m.NodeOf(target) == node {
+			s.m.Memcpy(p, node, dst, src)
+			a.blkArr[gj].Incr(1)
+		} else {
+			ep.Put(p, s.dom.Endpoint(target), dst, src, nil, a.blkArr[gj], nil)
+		}
+	}
+	ep.Waitcntr(p, a.blkArr[gi], P-1)
+}
+
+// Alltoall is Group.Alltoall over all ranks.
+func (s *SRM) Alltoall(p *sim.Proc, rank int, send, recv []byte) {
+	s.World().Alltoall(p, rank, send, recv)
+}
+
+func (a *alltoallState) run(p *sim.Proc, rank int, send, recv []byte) {
+	g := a.g
+	s := g.s
+	x := g.lay.ni[rank]
+	li := g.lay.li[rank]
+	node := g.lay.nodes[x]
+	nn := len(g.lay.nodes)
+	blk := a.blk
+
+	// Phase 1: stage outgoing blocks, grouped by destination node. Each
+	// destination node's slab is laid out [src local][dst local], so runs
+	// to the same node are coalesced into contiguous ranges per source.
+	for y := 0; y < nn; y++ {
+		dsts := g.lay.local[y]
+		row := a.out[x][y][li*len(dsts)*blk : (li+1)*len(dsts)*blk]
+		if blk > 0 && len(dsts) > 0 {
+			// Gather this member's blocks for node y's members into its
+			// row of the slab (one contiguous copy per destination).
+			for lj, dst := range dsts {
+				off := a.groupRank(dst) * blk
+				copy(row[lj*blk:(lj+1)*blk], send[off:off+blk])
+			}
+			s.m.ChargeCopy(p, node, len(row))
+			s.m.Stats.AddCopy(len(row))
+		}
+	}
+	a.staged[x].Flag(li).Set(1)
+
+	if rank == g.lay.local[x][0] {
+		// Master: wait for local staging, exchange slabs pairwise.
+		a.staged[x].WaitAll(p, 1)
+		ep := s.dom.Endpoint(rank)
+		for d := 1; d < nn; d++ {
+			y := (x + d) % nn
+			dst := a.in[y][x]
+			ep.Put(p, s.dom.Endpoint(g.lay.local[y][0]), dst, a.out[x][y],
+				nil, a.arr[y][x], nil)
+		}
+		// The node's own slab transfers through shared memory.
+		a.in[x][x] = a.out[x][x]
+		for d := 1; d < nn; d++ {
+			ep.Waitcntr(p, a.arr[x][(x+d)%nn], 1)
+		}
+		a.ready[x].Set(1)
+	}
+	a.ready[x].WaitFor(p, 1)
+
+	// Phase 3: pick this member's column out of every inbound slab.
+	for y := 0; y < nn; y++ {
+		srcs := g.lay.local[y]
+		if blk == 0 || len(srcs) == 0 {
+			continue
+		}
+		for lj, src := range srcs {
+			slab := a.in[x][y]
+			from := slab[(lj*len(g.lay.local[x])+li)*blk : (lj*len(g.lay.local[x])+li+1)*blk]
+			off := a.groupRank(src) * blk
+			copy(recv[off:off+blk], from)
+		}
+		s.m.ChargeCopy(p, node, len(srcs)*blk)
+		s.m.Stats.AddCopy(len(srcs) * blk)
+	}
+}
+
+// groupRank returns a member's group rank (its block index).
+func (a *alltoallState) groupRank(rank int) int { return a.pos[rank] }

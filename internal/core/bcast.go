@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// bcastState is the shared state of one broadcast operation (§2.4, Fig. 4).
+// All node-indexed slices below are indexed by the layout's participating
+// node index, so the same machinery serves whole-world broadcasts and
+// arbitrary task groups (the §5 extension).
+type bcastState struct {
+	g     *Group
+	root  int
+	size  int
+	emb   gEmbed
+	sp    []span
+	large bool
+
+	// Small-message path: two shared receive buffers per non-root node
+	// with arrival counters at the node's master and buffer-free credit
+	// counters held at the parent ("the parent alternates between the two
+	// buffers and sends the data after verifying that the buffer is free").
+	netBuf [][2][]byte
+	arr    [][2]*rma.Counter // per node, per buffer parity ("two LAPI counters")
+	freeC  [][2]*rma.Counter
+
+	// Large-message path: user-buffer address exchange (Fig. 4 right).
+	userBuf    [][]byte     // per node, registered by the node's master
+	registered []*sim.Event // per node, fires at the parent after the address AM
+
+	// SMP side (Fig. 3).
+	pub []publisher
+}
+
+func newBcastState(g *Group, root, size int) *bcastState {
+	s := g.s
+	cfg := s.m.Cfg
+	b := &bcastState{
+		g:    g,
+		root: root,
+		size: size,
+		emb:  g.lay.embed(s.opt.InterTree, s.opt.IntraTree, root),
+	}
+	b.large = size > cfg.SRMBcastBufSize
+	switch {
+	case b.large:
+		b.sp = chunks(size, cfg.SRMLargeChunk)
+	case size > cfg.SRMPipelineMin:
+		// 8 KB < size <= 64 KB: 4 KB chunks pipelined through the two
+		// shared buffers (§2.4).
+		b.sp = chunks(size, cfg.SRMSmallChunk)
+	default:
+		b.sp = chunks(size, cfg.SRMBcastBufSize)
+	}
+	nn := len(g.lay.nodes)
+	b.netBuf = make([][2][]byte, nn)
+	b.arr = make([][2]*rma.Counter, nn)
+	b.freeC = make([][2]*rma.Counter, nn)
+	b.userBuf = make([][]byte, nn)
+	b.registered = make([]*sim.Event, nn)
+	b.pub = make([]publisher, nn)
+	chunkBytes := b.sp[0].n
+	for x, nd := range g.lay.nodes {
+		if !b.large {
+			b.netBuf[x] = [2][]byte{make([]byte, chunkBytes), make([]byte, chunkBytes)}
+			b.freeC[x] = [2]*rma.Counter{s.dom.NewCounter(1), s.dom.NewCounter(1)}
+		}
+		b.arr[x] = [2]*rma.Counter{s.dom.NewCounter(0), s.dom.NewCounter(0)}
+		b.registered[x] = s.m.Env.NewEvent()
+		b.pub[x] = s.newPublisher(nd, g.lay.li[b.emb.masters[x]], len(g.lay.local[x]), chunkBytes)
+	}
+	return b
+}
+
+// Bcast broadcasts buf (len(buf) equal on all ranks) from root. On the
+// root, buf is the source; elsewhere it is overwritten with the data.
+func (s *SRM) Bcast(p *sim.Proc, rank int, buf []byte, root int) {
+	s.World().Bcast(p, rank, buf, root)
+}
+
+// Bcast broadcasts buf from the member rank root to every group member.
+func (g *Group) Bcast(p *sim.Proc, rank int, buf []byte, root int) {
+	st, release := g.acquire(rank, func() any { return newBcastState(g, root, len(buf)) })
+	defer release()
+	b := st.(*bcastState)
+	if b.root != root || b.size != len(buf) {
+		panic(fmt.Sprintf("core: Bcast mismatch at rank %d: root %d/%d size %d/%d",
+			rank, root, b.root, len(buf), b.size))
+	}
+	b.run(p, rank, buf)
+}
+
+func (b *bcastState) run(p *sim.Proc, rank int, buf []byte) {
+	g := b.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if rank != b.emb.masters[x] {
+		// Non-master: consume every chunk from the node's publisher.
+		for k, c := range b.sp {
+			b.pub[x].Consume(p, l, k, buf[c.off:c.off+c.n])
+		}
+		return
+	}
+	ep := g.s.dom.Endpoint(rank)
+	enable := g.s.quietNet(ep, b.size)
+	defer enable()
+	if b.large {
+		b.masterLarge(p, ep, x, buf)
+	} else {
+		b.masterSmall(p, ep, x, buf)
+	}
+}
+
+// masterSmall runs a master through the small-message protocol (Fig. 4
+// left): data travels between nodes through the two shared buffers.
+func (b *bcastState) masterSmall(p *sim.Proc, ep *rma.Endpoint, x int, buf []byte) {
+	g := b.g
+	node := g.lay.nodes[x]
+	kids := b.emb.inter.Children[x]
+	atRoot := x == b.emb.inter.Root
+	for k, c := range b.sp {
+		parity := k % 2
+		var src []byte
+		if atRoot {
+			src = buf[c.off : c.off+c.n]
+		} else {
+			// Step: wait for the chunk to land in the shared buffer.
+			ep.Waitcntr(p, b.arr[x][parity], 1)
+			src = b.netBuf[x][parity][:c.n]
+		}
+		// Send down the inter-node tree first (§2.4: "the received data is
+		// sent down the tree, and then SMP broadcast is performed").
+		for _, child := range kids {
+			ep.Waitcntr(p, b.freeC[child][parity], 1)
+			dst := b.netBuf[child][parity][:c.n]
+			ep.Put(p, g.s.dom.Endpoint(b.emb.masters[child]), dst, src, nil, b.arr[child][parity], nil)
+		}
+		// SMP broadcast of the chunk. From the root's private buffer this
+		// stages through the Figure 3 buffers; from the shared receive
+		// buffer it is exposed directly (no extra copy).
+		b.pub[x].Publish(p, k, src, !atRoot)
+		if !atRoot {
+			// The master's own share leaves the shared buffer too.
+			if c.n > 0 {
+				g.s.m.Memcpy(p, node, buf[c.off:c.off+c.n], src)
+			}
+			// Free the buffer to the parent once the node is done with it
+			// (only while a chunk k+2 remains to reuse this parity).
+			if k+2 < len(b.sp) {
+				b.pub[x].waitConsumed(p, k)
+				parent := b.emb.inter.Parent[x]
+				ep.PutZero(p, g.s.dom.Endpoint(b.emb.masters[parent]), b.freeC[x][parity])
+			}
+		}
+	}
+	if atRoot {
+		b.pub[x].waitConsumed(p, len(b.sp)-1)
+	}
+}
+
+// masterLarge runs a master through the large-message protocol (Fig. 4
+// right): an address exchange, then puts straight into user buffers, with
+// the SMP broadcast pipelined behind the arrivals.
+func (b *bcastState) masterLarge(p *sim.Proc, ep *rma.Endpoint, x int, buf []byte) {
+	g := b.g
+	kids := b.emb.inter.Children[x]
+	atRoot := x == b.emb.inter.Root
+	b.userBuf[x] = buf
+	if !atRoot {
+		// Stage 1: send the user-buffer address to the inter-node parent.
+		parent := b.emb.masters[b.emb.inter.Parent[x]]
+		reg := b.registered[x]
+		ep.AM(p, g.s.dom.Endpoint(parent), make([]byte, 8), func([]byte) { reg.Trigger() })
+	}
+	for k, c := range b.sp {
+		if !atRoot {
+			ep.Waitcntr(p, b.arr[x][k%2], 1) // chunk landed in buf[c.off:]
+		}
+		src := buf[c.off : c.off+c.n]
+		for _, child := range kids {
+			p.Wait(b.registered[child])
+			dst := b.userBuf[child][c.off : c.off+c.n]
+			ep.Put(p, g.s.dom.Endpoint(b.emb.masters[child]), dst, src, nil, b.arr[child][k%2], nil)
+		}
+		b.pub[x].Publish(p, k, src, false)
+	}
+	b.pub[x].waitConsumed(p, len(b.sp)-1)
+}

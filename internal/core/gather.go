@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/rma"
+	"srmcoll/internal/shm"
+	"srmcoll/internal/sim"
+)
+
+// This file extends the paper's operation set with the remaining common
+// collectives — gather, scatter and allgather — built in the same SRM
+// style: blocks stage through per-node shared memory, and the network sees
+// one put per contiguous slab placed directly at its final offset (the
+// Fig. 4 large-message idea applied to rooted data redistribution).
+
+// run is a maximal set of group members that are consecutive in group-rank
+// order and live on the same node, so their blocks form one contiguous
+// slab both in the gathered vector and in the node staging buffer.
+type run struct {
+	node  int // participating node index
+	first int // first group rank of the run
+	count int // members in the run
+	lofff int // first member's index within the node member list
+}
+
+// runsOf splits the group into contiguous same-node runs. For the
+// whole-world layout this yields exactly one run per node.
+func runsOf(lay layout) []run {
+	var out []run
+	for i := 0; i < len(lay.members); {
+		r := lay.members[i]
+		x := lay.ni[r]
+		rn := run{node: x, first: i, count: 1, lofff: lay.li[r]}
+		for i+rn.count < len(lay.members) {
+			next := lay.members[i+rn.count]
+			if lay.ni[next] != x || lay.li[next] != rn.lofff+rn.count {
+				break
+			}
+			rn.count++
+		}
+		out = append(out, rn)
+		i += rn.count
+	}
+	return out
+}
+
+// allgatherDirectMin is the per-member block size above which allgather
+// skips the shared-memory staging: blocks ride a member ring of direct
+// puts into the destination receive buffers (zero-copy), since staging
+// only pays when aggregation amortizes per-message costs.
+const allgatherDirectMin = 16 << 10
+
+// redistState is the shared state of one gather, scatter or allgather.
+type redistState struct {
+	g    *Group
+	kind string // "gather", "scatter", "allgather"
+	root int    // member rank (unused by allgather)
+	blk  int    // bytes contributed by / delivered to each member
+
+	masters []int
+	runs    []run
+	staged  [][]byte         // per node: slab staging in shared memory
+	inFlag  []*shm.FlagSet   // per node: member block staged (gather/allgather)
+	ready   []*shm.Flag      // per node: staging complete, members may copy out
+	arr     []*rma.Counter   // per node master: slabs arrived (gather/scatter)
+	stepArr [][]*rma.Counter // allgather: per node, per ring step
+	rootBuf []byte           // gather: root's recv; set at entry
+	rootSet *sim.Event
+
+	// Direct allgather ring (large blocks).
+	direct     bool
+	recvBuf    [][]byte
+	registered []*sim.Event
+	stepCnt    [][]*rma.Counter // [member][step]
+}
+
+func newRedistState(g *Group, kind string, root, blk int) *redistState {
+	s := g.s
+	st := &redistState{
+		g:       g,
+		kind:    kind,
+		root:    root,
+		blk:     blk,
+		runs:    runsOf(g.lay),
+		masters: make([]int, len(g.lay.nodes)),
+		staged:  make([][]byte, len(g.lay.nodes)),
+		inFlag:  make([]*shm.FlagSet, len(g.lay.nodes)),
+		ready:   make([]*shm.Flag, len(g.lay.nodes)),
+		arr:     make([]*rma.Counter, len(g.lay.nodes)),
+		rootSet: s.m.Env.NewEvent(),
+	}
+	rootNI := -1
+	if kind != "allgather" {
+		rootNI = g.lay.ni[root]
+	}
+	if kind == "allgather" && blk > allgatherDirectMin {
+		st.direct = true
+		P := len(g.lay.members)
+		st.recvBuf = make([][]byte, P)
+		st.registered = make([]*sim.Event, P)
+		st.stepCnt = make([][]*rma.Counter, P)
+		for i := 0; i < P; i++ {
+			st.registered[i] = s.m.Env.NewEvent()
+			st.stepCnt[i] = make([]*rma.Counter, P)
+			for j := range st.stepCnt[i] {
+				st.stepCnt[i][j] = s.dom.NewCounter(0)
+			}
+		}
+		return st
+	}
+	total := blk * len(g.lay.members)
+	for x, nd := range g.lay.nodes {
+		if x == rootNI {
+			st.masters[x] = root
+		} else {
+			st.masters[x] = g.lay.local[x][0]
+		}
+		size := blk * len(g.lay.local[x])
+		if kind == "allgather" {
+			size = total
+		}
+		st.staged[x] = make([]byte, size)
+		st.inFlag[x] = shm.NewFlagSet(s.m, nd, len(g.lay.local[x]))
+		st.ready[x] = shm.NewFlag(s.m, nd)
+		st.arr[x] = s.dom.NewCounter(0)
+	}
+	if kind == "allgather" {
+		st.stepArr = make([][]*rma.Counter, len(g.lay.nodes))
+		for x := range st.stepArr {
+			st.stepArr[x] = make([]*rma.Counter, len(g.lay.nodes))
+			for i := range st.stepArr[x] {
+				st.stepArr[x][i] = s.dom.NewCounter(0)
+			}
+		}
+	}
+	return st
+}
+
+// groupOffset returns the gathered-vector byte offset of a member rank.
+func (st *redistState) groupOffset(rank int) int {
+	for i, r := range st.g.lay.members {
+		if r == rank {
+			return i * st.blk
+		}
+	}
+	panic("core: rank not in group")
+}
+
+// slabRange returns the staging range of a run within its node buffer
+// (member-list order) and its range in the gathered vector.
+func (st *redistState) slabRange(rn run) (stagedOff, groupOff, n int) {
+	return rn.lofff * st.blk, rn.first * st.blk, rn.count * st.blk
+}
+
+// Gather collects each member's send block (blk = len(send) bytes, equal
+// everywhere) into recv at root, ordered by group rank. recv must hold
+// Size()*blk bytes at root and is ignored elsewhere.
+func (g *Group) Gather(p *sim.Proc, rank int, send, recv []byte, root int) {
+	st, release := g.acquire(rank, func() any { return newRedistState(g, "gather", root, len(send)) })
+	defer release()
+	r := st.(*redistState)
+	if r.kind != "gather" || r.root != root || r.blk != len(send) {
+		panic(fmt.Sprintf("core: Gather mismatch at rank %d", rank))
+	}
+	if rank == root {
+		if len(recv) != r.blk*g.Size() {
+			panic(fmt.Sprintf("core: Gather root recv %d bytes, want %d", len(recv), r.blk*g.Size()))
+		}
+		r.rootBuf = recv
+		r.rootSet.Trigger()
+	}
+	r.runGather(p, rank, send)
+}
+
+func (st *redistState) runGather(p *sim.Proc, rank int, send []byte) {
+	g := st.g
+	s := g.s
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	node := g.lay.nodes[x]
+	// Every member stages its block in node shared memory.
+	if st.blk > 0 {
+		s.m.Memcpy(p, node, st.staged[x][l*st.blk:(l+1)*st.blk], send)
+	}
+	st.inFlag[x].Flag(l).Set(1)
+	if rank != st.masters[x] {
+		return
+	}
+	// The master forwards each contiguous slab straight to its final
+	// offset in the root's receive buffer — one put per run.
+	st.inFlag[x].WaitAll(p, 1)
+	ep := s.dom.Endpoint(rank)
+	rootNI := g.lay.ni[st.root]
+	rootEp := s.dom.Endpoint(st.masters[rootNI])
+	remoteRuns := 0
+	for _, rn := range st.runs {
+		if rn.node != rootNI {
+			remoteRuns++
+		}
+	}
+	if x == rootNI {
+		p.Wait(st.rootSet)
+		for _, rn := range st.runs {
+			so, po, n := st.slabRange(rn)
+			if rn.node != x || n == 0 {
+				continue
+			}
+			s.m.Memcpy(p, node, st.rootBuf[po:po+n], st.staged[x][so:so+n])
+		}
+		// Wait for every remote slab to land.
+		ep.Waitcntr(p, st.arr[x], remoteRuns)
+		return
+	}
+	p.Wait(st.rootSet)
+	for _, rn := range st.runs {
+		if rn.node != x {
+			continue
+		}
+		so, po, n := st.slabRange(rn)
+		ep.Put(p, rootEp, st.rootBuf[po:po+n], st.staged[x][so:so+n], nil, st.arr[rootNI], nil)
+	}
+}
+
+// Scatter distributes root's send buffer (Size()*blk bytes, ordered by
+// group rank) so each member receives its blk-byte block in recv. send is
+// ignored away from root.
+func (g *Group) Scatter(p *sim.Proc, rank int, send, recv []byte, root int) {
+	st, release := g.acquire(rank, func() any { return newRedistState(g, "scatter", root, len(recv)) })
+	defer release()
+	r := st.(*redistState)
+	if r.kind != "scatter" || r.root != root || r.blk != len(recv) {
+		panic(fmt.Sprintf("core: Scatter mismatch at rank %d", rank))
+	}
+	if rank == root && len(send) != r.blk*g.Size() {
+		panic(fmt.Sprintf("core: Scatter root send %d bytes, want %d", len(send), r.blk*g.Size()))
+	}
+	r.runScatter(p, rank, send, recv)
+}
+
+func (st *redistState) runScatter(p *sim.Proc, rank int, send, recv []byte) {
+	g := st.g
+	s := g.s
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	node := g.lay.nodes[x]
+	rootNI := g.lay.ni[st.root]
+	if rank == st.masters[x] {
+		ep := s.dom.Endpoint(rank)
+		if x == rootNI {
+			// The root master slabs the send buffer out: remote runs by
+			// put into the target node's staging, local runs by memcpy.
+			for _, rn := range st.runs {
+				so, po, n := st.slabRange(rn)
+				if n == 0 {
+					continue
+				}
+				if rn.node == x {
+					s.m.Memcpy(p, node, st.staged[x][so:so+n], send[po:po+n])
+				} else {
+					dst := st.staged[rn.node][so : so+n]
+					ep.Put(p, s.dom.Endpoint(st.masters[rn.node]), dst, send[po:po+n],
+						nil, st.arr[rn.node], nil)
+				}
+			}
+			st.ready[x].Set(1)
+		} else {
+			runs := 0
+			for _, rn := range st.runs {
+				if rn.node == x {
+					runs++
+				}
+			}
+			ep.Waitcntr(p, st.arr[x], runs)
+			st.ready[x].Set(1)
+		}
+	}
+	// Every member copies its block out of the node staging.
+	st.ready[x].WaitFor(p, 1)
+	if st.blk > 0 {
+		s.m.Memcpy(p, node, recv, st.staged[x][l*st.blk:(l+1)*st.blk])
+	}
+}
+
+// Allgather concatenates every member's send block into every member's
+// recv (Size()*blk bytes), ordered by group rank: an intra-node staging
+// phase, a slab ring between the node masters, and a node-local fan-out.
+func (g *Group) Allgather(p *sim.Proc, rank int, send, recv []byte) {
+	st, release := g.acquire(rank, func() any { return newRedistState(g, "allgather", g.lay.members[0], len(send)) })
+	defer release()
+	r := st.(*redistState)
+	if r.kind != "allgather" || r.blk != len(send) {
+		panic(fmt.Sprintf("core: Allgather mismatch at rank %d", rank))
+	}
+	if len(recv) != r.blk*g.Size() {
+		panic(fmt.Sprintf("core: Allgather recv %d bytes, want %d", len(recv), r.blk*g.Size()))
+	}
+	if r.direct {
+		r.runAllgatherDirect(p, rank, send, recv)
+	} else {
+		r.runAllgather(p, rank, send, recv)
+	}
+}
+
+// runAllgatherDirect is the large-block path: a ring over group members
+// with each block put straight into the right neighbor's receive buffer
+// (a shared-memory copy when the neighbor is local). Bandwidth matches
+// the classic ring; the staging copies disappear.
+func (st *redistState) runAllgatherDirect(p *sim.Proc, rank int, send, recv []byte) {
+	g := st.g
+	s := g.s
+	gi := st.groupOffset(rank) / max(st.blk, 1)
+	P := len(g.lay.members)
+	blk := st.blk
+	node := g.lay.nodes[g.lay.ni[rank]]
+	st.recvBuf[gi] = recv
+	st.registered[gi].Trigger()
+	s.m.Memcpy(p, node, recv[gi*blk:(gi+1)*blk], send)
+	if P == 1 {
+		return
+	}
+	gr := (gi + 1) % P
+	right := g.lay.members[gr]
+	sameNode := g.s.m.NodeOf(right) == node
+	ep := s.dom.Endpoint(rank)
+	p.Wait(st.registered[gr])
+	for step := 1; step < P; step++ {
+		out := (gi - step + 1 + P) % P
+		src := recv[out*blk : (out+1)*blk]
+		dst := st.recvBuf[gr][out*blk : (out+1)*blk]
+		if sameNode {
+			s.m.Memcpy(p, node, dst, src)
+			st.stepCnt[gr][step].Incr(1)
+		} else {
+			ep.Put(p, s.dom.Endpoint(right), dst, src, nil, st.stepCnt[gr][step], nil)
+		}
+		in := (gi - step + P) % P
+		ep.Waitcntr(p, st.stepCnt[gi][step], 1)
+		_ = in // the step counter identifies the inbound block
+	}
+}
+
+func (st *redistState) runAllgather(p *sim.Proc, rank int, send, recv []byte) {
+	g := st.g
+	s := g.s
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	node := g.lay.nodes[x]
+	nn := len(g.lay.nodes)
+	// Members stage their block at its group offset in the node's copy of
+	// the full vector.
+	off := st.groupOffset(rank)
+	if st.blk > 0 {
+		s.m.Memcpy(p, node, st.staged[x][off:off+st.blk], send)
+	}
+	st.inFlag[x].Flag(l).Set(1)
+	if rank == st.masters[x] {
+		st.inFlag[x].WaitAll(p, 1)
+		st.ready[x].Set(1) // step 0: the node's own slabs are staged
+		ep := s.dom.Endpoint(rank)
+		right := (x + 1) % nn
+		rightEp := s.dom.Endpoint(st.masters[right])
+		// Ring over node slabs: at step s, forward the slab that
+		// originated at node (x-s+1 mod nn); after nn-1 steps the node
+		// holds every slab at its final offset. The ready counter ticks
+		// per step so members fan slabs out while the ring still runs.
+		for step := 1; step < nn; step++ {
+			origin := (x - step + 1 + nn) % nn
+			for _, rn := range st.runs {
+				if rn.node != origin {
+					continue
+				}
+				_, po, n := st.slabRange(rn)
+				ep.Put(p, rightEp, st.staged[right][po:po+n], st.staged[x][po:po+n],
+					nil, st.stepArr[right][step], nil)
+			}
+			// Wait for this step's slabs from the left neighbor; the
+			// per-step counter ties the wait to this step's data.
+			inbound := (x - step + nn) % nn
+			cnt := 0
+			for _, rn := range st.runs {
+				if rn.node == inbound {
+					cnt++
+				}
+			}
+			ep.Waitcntr(p, st.stepArr[x][step], cnt)
+			st.ready[x].Set(step + 1)
+		}
+	}
+	// Fan out, pipelined with the ring: at step s the slabs that
+	// originated at node (x-s mod nn) become copyable.
+	for step := 0; step < nn; step++ {
+		step := step
+		st.ready[x].WaitUntil(p, func(v int) bool { return v >= step+1 })
+		origin := (x - step + nn) % nn
+		for _, rn := range st.runs {
+			if rn.node != origin {
+				continue
+			}
+			_, po, n := st.slabRange(rn)
+			if n > 0 {
+				s.m.Memcpy(p, node, recv[po:po+n], st.staged[x][po:po+n])
+			}
+		}
+	}
+}
+
+// Gather is Group.Gather over all ranks.
+func (s *SRM) Gather(p *sim.Proc, rank int, send, recv []byte, root int) {
+	s.World().Gather(p, rank, send, recv, root)
+}
+
+// Scatter is Group.Scatter over all ranks.
+func (s *SRM) Scatter(p *sim.Proc, rank int, send, recv []byte, root int) {
+	s.World().Scatter(p, rank, send, recv, root)
+}
+
+// Allgather is Group.Allgather over all ranks.
+func (s *SRM) Allgather(p *sim.Proc, rank int, send, recv []byte) {
+	s.World().Allgather(p, rank, send, recv)
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/machine"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// groupHarness runs body on the given member ranks only.
+func groupHarness(t testing.TB, nodes, tpn int, members []int,
+	body func(g *Group, p *sim.Proc, rank int)) *machine.Machine {
+	t.Helper()
+	env := sim.NewEnv()
+	m := machine.New(env, machine.ColonySP(nodes, tpn))
+	s := New(m, rma.NewDomain(m), Options{})
+	g := s.Group(members)
+	for _, r := range members {
+		r := r
+		env.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) { body(g, p, r) })
+	}
+	if err := env.Run(); err != nil {
+		t.Fatalf("simulation: %v", err)
+	}
+	return m
+}
+
+func TestLayoutGrouping(t *testing.T) {
+	env := sim.NewEnv()
+	m := machine.New(env, machine.ColonySP(4, 4))
+	lay := newLayout(m, []int{9, 2, 1, 14, 8})
+	if fmt.Sprint(lay.nodes) != "[0 2 3]" {
+		t.Fatalf("nodes = %v", lay.nodes)
+	}
+	// Members keep group order within each node.
+	if fmt.Sprint(lay.local[0]) != "[2 1]" || fmt.Sprint(lay.local[1]) != "[9 8]" ||
+		fmt.Sprint(lay.local[2]) != "[14]" {
+		t.Fatalf("local = %v", lay.local)
+	}
+	if lay.ni[8] != 1 || lay.li[8] != 1 || lay.li[2] != 0 {
+		t.Fatalf("index maps wrong: ni=%v li=%v", lay.ni, lay.li)
+	}
+	if !lay.contains(14) || lay.contains(0) {
+		t.Fatal("contains wrong")
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	env := sim.NewEnv()
+	m := machine.New(env, machine.ColonySP(2, 2))
+	for _, members := range [][]int{{}, {4}, {-1}, {1, 1}} {
+		members := members
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("newLayout(%v) did not panic", members)
+				}
+			}()
+			newLayout(m, members)
+		}()
+	}
+}
+
+func TestGroupRegistryShared(t *testing.T) {
+	env := sim.NewEnv()
+	m := machine.New(env, machine.ColonySP(2, 2))
+	s := New(m, rma.NewDomain(m), Options{})
+	a := s.Group([]int{0, 2})
+	b := s.Group([]int{0, 2})
+	if a != b {
+		t.Fatal("same member list must yield the same Group")
+	}
+	if c := s.Group([]int{2, 0}); c == a {
+		t.Fatal("different member order must be a different group")
+	}
+	if s.World().Size() != 4 {
+		t.Fatalf("world size = %d", s.World().Size())
+	}
+	if a.Size() != 2 || !a.Contains(2) || a.Contains(1) {
+		t.Fatal("group accessors wrong")
+	}
+	if fmt.Sprint(a.Members()) != "[0 2]" {
+		t.Fatalf("members = %v", a.Members())
+	}
+}
+
+func TestGroupEmbedRootMaster(t *testing.T) {
+	env := sim.NewEnv()
+	m := machine.New(env, machine.ColonySP(4, 4))
+	lay := newLayout(m, []int{1, 2, 5, 6, 9, 13})
+	e := lay.embed(0, 0, 6) // root 6 on node 1 (members 5, 6)
+	if e.masters[lay.ni[6]] != 6 {
+		t.Fatalf("root node master = %d, want the root itself", e.masters[lay.ni[6]])
+	}
+	// Other nodes take their first member as master.
+	if e.masters[0] != 1 || e.masters[2] != 9 || e.masters[3] != 13 {
+		t.Fatalf("masters = %v", e.masters)
+	}
+}
+
+func TestGroupBarrier(t *testing.T) {
+	members := []int{1, 3, 4, 6, 9, 11} // sparse across 3 of 3 nodes
+	enter := make(map[int]sim.Time)
+	exit := make(map[int]sim.Time)
+	groupHarness(t, 3, 4, members, func(g *Group, p *sim.Proc, rank int) {
+		p.Sleep(sim.Time(rank) * 3)
+		enter[rank] = p.Now()
+		g.Barrier(p, rank)
+		exit[rank] = p.Now()
+	})
+	var last sim.Time
+	for _, e := range enter {
+		if e > last {
+			last = e
+		}
+	}
+	for r, x := range exit {
+		if x < last {
+			t.Errorf("rank %d left group barrier at %v before last arrival %v", r, x, last)
+		}
+	}
+}
+
+func checkGroupBcast(t *testing.T, nodes, tpn int, members []int, size, root int) {
+	t.Helper()
+	want := pattern(size, root)
+	bufs := make(map[int][]byte, len(members))
+	for _, r := range members {
+		bufs[r] = make([]byte, size)
+	}
+	copy(bufs[root], want)
+	groupHarness(t, nodes, tpn, members, func(g *Group, p *sim.Proc, rank int) {
+		g.Bcast(p, rank, bufs[rank], root)
+	})
+	for _, r := range members {
+		if !bytes.Equal(bufs[r], want) {
+			t.Fatalf("members=%v size=%d root=%d: rank %d corrupted", members, size, root, r)
+		}
+	}
+}
+
+func TestGroupBcastShapes(t *testing.T) {
+	cases := []struct {
+		members []int
+		size    int
+		root    int
+	}{
+		{[]int{0, 1, 2, 3}, 4096, 0},             // one full node
+		{[]int{2, 5, 9}, 4096, 5},                // one member per node
+		{[]int{1, 3, 4, 6, 9, 11}, 2048, 9},      // sparse, non-master root
+		{[]int{1, 3, 4, 6, 9, 11}, 20 << 10, 4},  // chunked pipeline path
+		{[]int{1, 3, 4, 6, 9, 11}, 100 << 10, 1}, // large path
+		{[]int{7}, 512, 7},                       // singleton group
+	}
+	for _, c := range cases {
+		checkGroupBcast(t, 3, 4, c.members, c.size, c.root)
+	}
+}
+
+func TestGroupReduceSum(t *testing.T) {
+	members := []int{1, 3, 4, 6, 9, 11}
+	for _, elems := range []int{1, 300, 20000} {
+		vecs := make(map[int][]float64, len(members))
+		sends := make(map[int][]byte, len(members))
+		for _, r := range members {
+			v := make([]float64, elems)
+			for i := range v {
+				v[i] = float64((r+1)*(i%19) - r)
+			}
+			vecs[r] = v
+			sends[r] = dtype.Float64Bytes(v)
+		}
+		root := 6
+		recv := make([]byte, elems*8)
+		groupHarness(t, 3, 4, members, func(g *Group, p *sim.Proc, rank int) {
+			var rb []byte
+			if rank == root {
+				rb = recv
+			}
+			g.Reduce(p, rank, sends[rank], rb, dtype.Float64, dtype.Sum, root)
+		})
+		got := dtype.Float64s(recv)
+		for i := range got {
+			var want float64
+			for _, r := range members {
+				want += vecs[r][i]
+			}
+			if got[i] != want {
+				t.Fatalf("elems=%d: element %d = %v, want %v", elems, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestGroupAllreduce(t *testing.T) {
+	members := []int{0, 2, 5, 7, 8, 9, 10}  // uneven per-node counts
+	for _, elems := range []int{64, 5000} { // small and large paths
+		sends := make(map[int][]byte, len(members))
+		recvs := make(map[int][]byte, len(members))
+		var want float64
+		for _, r := range members {
+			sends[r] = dtype.Float64Bytes(float64slice(elems, r))
+			recvs[r] = make([]byte, elems*8)
+			want += float64(r + 1)
+		}
+		groupHarness(t, 3, 4, members, func(g *Group, p *sim.Proc, rank int) {
+			g.Allreduce(p, rank, sends[rank], recvs[rank], dtype.Float64, dtype.Sum)
+		})
+		for _, r := range members {
+			got := dtype.Float64s(recvs[r])
+			if got[0] != want {
+				t.Fatalf("elems=%d rank=%d: got %v, want %v", elems, r, got[0], want)
+			}
+		}
+	}
+}
+
+// float64slice builds a constant vector keyed by rank.
+func float64slice(elems, r int) []float64 {
+	v := make([]float64, elems)
+	for i := range v {
+		v[i] = float64(r + 1)
+	}
+	return v
+}
+
+func TestConcurrentDisjointGroups(t *testing.T) {
+	// Two disjoint groups run different collectives simultaneously.
+	env := sim.NewEnv()
+	m := machine.New(env, machine.ColonySP(2, 4))
+	s := New(m, rma.NewDomain(m), Options{})
+	evens := s.Group([]int{0, 2, 4, 6})
+	odds := s.Group([]int{1, 3, 5, 7})
+	wantE := pattern(2048, 0)
+	bufs := make([][]byte, 8)
+	recvs := make([][]byte, 8)
+	for r := 0; r < 8; r++ {
+		bufs[r] = make([]byte, 2048)
+		recvs[r] = make([]byte, 8)
+		r := r
+		env.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			if r%2 == 0 {
+				if r == 0 {
+					copy(bufs[0], wantE)
+				}
+				evens.Bcast(p, r, bufs[r], 0)
+			} else {
+				odds.Allreduce(p, r, dtype.Float64Bytes([]float64{float64(r)}),
+					recvs[r], dtype.Float64, dtype.Sum)
+				odds.Barrier(p, r)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r += 2 {
+		if !bytes.Equal(bufs[r], wantE) {
+			t.Fatalf("even group rank %d corrupted", r)
+		}
+	}
+	for r := 1; r < 8; r += 2 {
+		if got := dtype.Float64s(recvs[r]); got[0] != 1+3+5+7 {
+			t.Fatalf("odd group rank %d allreduce = %v", r, got[0])
+		}
+	}
+}
+
+func TestNestedSub(t *testing.T) {
+	env := sim.NewEnv()
+	m := machine.New(env, machine.ColonySP(2, 4))
+	s := New(m, rma.NewDomain(m), Options{})
+	g := s.Group([]int{0, 1, 2, 3, 4, 5})
+	sub := g.Sub([]int{1, 4, 5})
+	if sub.Size() != 3 {
+		t.Fatalf("nested sub size = %d", sub.Size())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Sub with non-member did not panic")
+			}
+		}()
+		g.Sub([]int{1, 7})
+	}()
+}
+
+func TestGroupNonMemberPanics(t *testing.T) {
+	env := sim.NewEnv()
+	m := machine.New(env, machine.ColonySP(1, 4))
+	s := New(m, rma.NewDomain(m), Options{})
+	g := s.Group([]int{0, 1})
+	env.Spawn("outsider", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-member collective call did not panic")
+			}
+		}()
+		g.Barrier(p, 3)
+	})
+	_ = env.Run()
+}
+
+// Property: group broadcast delivers for random member subsets and roots.
+func TestPropGroupBcast(t *testing.T) {
+	f := func(mask uint16, rootSel uint8, szRaw uint16) bool {
+		nodes, tpn := 3, 4
+		var members []int
+		for r := 0; r < nodes*tpn; r++ {
+			if mask&(1<<uint(r%16)) != 0 || r == 0 {
+				members = append(members, r)
+			}
+		}
+		size := int(szRaw) % 4096
+		root := members[int(rootSel)%len(members)]
+		want := pattern(size, root)
+		bufs := make(map[int][]byte, len(members))
+		for _, r := range members {
+			bufs[r] = make([]byte, size)
+		}
+		copy(bufs[root], want)
+		env := sim.NewEnv()
+		m := machine.New(env, machine.ColonySP(nodes, tpn))
+		s := New(m, rma.NewDomain(m), Options{})
+		g := s.Group(members)
+		for _, r := range members {
+			r := r
+			env.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+				g.Bcast(p, r, bufs[r], root)
+			})
+		}
+		if env.Run() != nil {
+			return false
+		}
+		for _, r := range members {
+			if !bytes.Equal(bufs[r], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

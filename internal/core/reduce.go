@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// dataspec bundles the element type and operator of a reduction.
+type dataspec struct {
+	dt dtype.Type
+	op dtype.Op
+}
+
+func (ds dataspec) acc(dst, src []byte)   { dtype.Reduce(ds.op, ds.dt, dst, src) }
+func (ds dataspec) into(dst, a, b []byte) { dtype.ReduceInto(ds.op, ds.dt, dst, a, b) }
+func (ds dataspec) validate(n int) error {
+	if !dtype.Valid(ds.op, ds.dt) {
+		return fmt.Errorf("core: operator %s invalid for %s", ds.op, ds.dt)
+	}
+	if n%ds.dt.Size() != 0 {
+		return fmt.Errorf("core: buffer of %d bytes not a multiple of %s", n, ds.dt)
+	}
+	return nil
+}
+
+// reduceState is the shared state of one reduce operation (§2.4): a
+// binomial tree within each node and between the masters, with double
+// buffers and chunk pipelining overlapping data movement across the
+// intra- and inter-node domains. Node-indexed slices use the layout's
+// participating node index.
+type reduceState struct {
+	g    *Group
+	root int
+	size int
+	ds   dataspec
+	emb  gEmbed
+	sp   []span
+
+	rn      []*redNode // per-node SMP reduce machinery
+	partial [][]byte   // per node: master's partial-result buffer
+
+	// Inter-node: the parent holds two chunk slots per child; the child
+	// holds a credit counter (initially 2) replenished by zero-byte puts.
+	pslot  [][2][]byte       // indexed by child node, allocated at its parent
+	arr    [][2]*rma.Counter // per-parity chunk arrivals from child node, at the parent
+	credit []*rma.Counter    // free slots for child node's puts, at the child
+}
+
+func newReduceState(g *Group, root, size int, ds dataspec) *reduceState {
+	s := g.s
+	cfg := s.m.Cfg
+	r := &reduceState{
+		g:    g,
+		root: root,
+		size: size,
+		ds:   ds,
+		emb:  g.lay.embed(s.opt.InterTree, s.opt.IntraTree, root),
+	}
+	chunk := cfg.SRMLargeChunk
+	if ds.dt.Size() > 0 {
+		chunk -= chunk % ds.dt.Size() // keep chunks element-aligned
+	}
+	if size <= chunk {
+		chunk = max(size, 1)
+	}
+	r.sp = chunks(size, chunk)
+	nn := len(g.lay.nodes)
+	r.rn = make([]*redNode, nn)
+	r.partial = make([][]byte, nn)
+	r.pslot = make([][2][]byte, nn)
+	r.arr = make([][2]*rma.Counter, nn)
+	r.credit = make([]*rma.Counter, nn)
+	chunkBytes := r.sp[0].n
+	for x, nd := range g.lay.nodes {
+		r.rn[x] = s.newRedNode(nd, g.lay.li[r.emb.masters[x]], len(g.lay.local[x]), chunkBytes)
+		r.pslot[x] = [2][]byte{make([]byte, chunkBytes), make([]byte, chunkBytes)}
+		r.arr[x] = [2]*rma.Counter{s.dom.NewCounter(0), s.dom.NewCounter(0)}
+		r.credit[x] = s.dom.NewCounter(2)
+	}
+	return r
+}
+
+// Reduce combines send buffers from every rank with op over elements of dt,
+// leaving the result in recv at root (recv is ignored elsewhere and may be
+// nil there). send and recv must not overlap.
+func (s *SRM) Reduce(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, root int) {
+	s.World().Reduce(p, rank, send, recv, dt, op, root)
+}
+
+// Reduce combines the group members' send buffers into recv at root.
+func (g *Group) Reduce(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, root int) {
+	ds := dataspec{dt: dt, op: op}
+	if err := ds.validate(len(send)); err != nil {
+		panic(err)
+	}
+	st, release := g.acquire(rank, func() any { return newReduceState(g, root, len(send), ds) })
+	defer release()
+	r := st.(*reduceState)
+	if r.root != root || r.size != len(send) || r.ds != ds {
+		panic(fmt.Sprintf("core: Reduce mismatch at rank %d", rank))
+	}
+	if rank == root {
+		if len(recv) != len(send) {
+			panic(fmt.Sprintf("core: Reduce root recv %d bytes, want %d", len(recv), len(send)))
+		}
+		r.partial[g.lay.ni[rank]] = recv
+	}
+	r.run(p, rank, send)
+}
+
+func (r *reduceState) run(p *sim.Proc, rank int, send []byte) {
+	g := r.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if rank != r.emb.masters[x] {
+		r.rn[x].worker(p, l, send, r.sp, r.ds)
+		return
+	}
+	ep := g.s.dom.Endpoint(rank)
+	enable := g.s.quietNet(ep, r.size)
+	defer enable()
+	r.master(p, ep, x, send)
+}
+
+// master runs the node master: combine local children, combine arriving
+// child-node partials, and either forward the chunk to the parent master or
+// finish it into the root's receive buffer — all pipelined over chunks.
+func (r *reduceState) master(p *sim.Proc, ep *rma.Endpoint, x int, send []byte) {
+	g := r.g
+	s := g.s
+	node := g.lay.nodes[x]
+	atRoot := x == r.emb.inter.Root
+	if r.partial[x] == nil {
+		r.partial[x] = make([]byte, r.size)
+	}
+	interKids := r.emb.inter.Children[x]
+	for k, c := range r.sp {
+		tchunk := r.partial[x][c.off : c.off+c.n]
+		own := send[c.off : c.off+c.n]
+		have := r.rn[x].masterChunk(p, k, tchunk, own, r.ds)
+		for _, child := range interKids {
+			ep.Waitcntr(p, r.arr[child][k%2], 1)
+			slot := r.pslot[child][k%2][:c.n]
+			if c.n > 0 {
+				if have {
+					r.ds.acc(tchunk, slot)
+				} else {
+					r.ds.into(tchunk, own, slot)
+				}
+				s.combineCharge(p, c.n, r.ds.dt.Size())
+			}
+			have = true
+			// Replenish the child's slot credit — only needed while a
+			// chunk k+2 remains to reuse this slot parity.
+			if k+2 < len(r.sp) {
+				ep.PutZero(p, s.dom.Endpoint(r.emb.masters[child]), r.credit[child])
+			}
+		}
+		switch {
+		case !atRoot:
+			// Forward the chunk partial to the parent's slot for this node.
+			src := tchunk
+			if !have {
+				src = own // single-task leaf node: send straight from the user buffer
+			}
+			ep.Waitcntr(p, r.credit[x], 1)
+			parent := s.dom.Endpoint(r.emb.masters[r.emb.inter.Parent[x]])
+			ep.Put(p, parent, r.pslot[x][k%2][:c.n], src, nil, r.arr[x][k%2], nil)
+		case !have && c.n > 0:
+			// Reduce over a single task: the result is a plain copy.
+			s.m.Memcpy(p, node, tchunk, own)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/shm"
+	"srmcoll/internal/sim"
+)
+
+// reduceScatterState implements MPI_Reduce_scatter_block in the SRM style:
+// each node first reduces the full vector across its members in shared
+// memory (the Figure 2 machinery), then every master sends each peer node
+// its partial of that node's block range — one put per peer, placed into a
+// per-source slot — and combines the inbound partials for its own range.
+// Members finally copy their block out of shared memory.
+type reduceScatterState struct {
+	g   *Group
+	blk int
+	ds  dataspec
+	sp  []span
+
+	rn      []*redNode
+	partial [][]byte // per node: master's full-vector local reduction
+	acc     [][]byte // per node: accumulated own-range result
+	slot    [][][]byte
+	arr     [][]*rma.Counter // [dst node][src node]
+	ready   []*shm.Flag
+	offs    [][]int // per node: input-vector byte offset of each member's block
+}
+
+func newReduceScatterState(g *Group, blk int, ds dataspec) *reduceScatterState {
+	s := g.s
+	cfg := s.m.Cfg
+	nn := len(g.lay.nodes)
+	total := blk * len(g.lay.members)
+	st := &reduceScatterState{
+		g:       g,
+		blk:     blk,
+		ds:      ds,
+		rn:      make([]*redNode, nn),
+		partial: make([][]byte, nn),
+		acc:     make([][]byte, nn),
+		slot:    make([][][]byte, nn),
+		arr:     make([][]*rma.Counter, nn),
+		ready:   make([]*shm.Flag, nn),
+		offs:    make([][]int, nn),
+	}
+	chunk := cfg.SRMLargeChunk
+	if ds.dt.Size() > 0 {
+		chunk -= chunk % ds.dt.Size()
+	}
+	if total <= chunk {
+		chunk = max(total, 1)
+	}
+	st.sp = chunks(total, chunk)
+	pos := make(map[int]int, len(g.lay.members))
+	for i, r := range g.lay.members {
+		pos[r] = i
+	}
+	for x, nd := range g.lay.nodes {
+		st.rn[x] = s.newRedNode(nd, 0, len(g.lay.local[x]), st.sp[0].n)
+		st.partial[x] = make([]byte, total)
+		size := blk * len(g.lay.local[x])
+		st.acc[x] = make([]byte, size)
+		st.slot[x] = make([][]byte, nn)
+		st.arr[x] = make([]*rma.Counter, nn)
+		for y := 0; y < nn; y++ {
+			st.slot[x][y] = make([]byte, size)
+			st.arr[x][y] = s.dom.NewCounter(0)
+		}
+		st.ready[x] = shm.NewFlag(s.m, nd)
+		st.offs[x] = make([]int, len(g.lay.local[x]))
+		for l, r := range g.lay.local[x] {
+			st.offs[x][l] = pos[r] * blk
+		}
+	}
+	return st
+}
+
+// slabFor extracts node y's members' blocks from a full-length vector, in
+// y's local-member order. Contiguous ranges (the whole-world case) are
+// returned as a slice; otherwise a compacted copy is built and charged.
+func (st *reduceScatterState) slabFor(p *sim.Proc, node int, vec []byte, y int) []byte {
+	offs := st.offs[y]
+	if len(offs) == 0 || st.blk == 0 {
+		return nil
+	}
+	contiguous := true
+	for l := 1; l < len(offs); l++ {
+		if offs[l] != offs[l-1]+st.blk {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		return vec[offs[0] : offs[0]+len(offs)*st.blk]
+	}
+	slab := make([]byte, len(offs)*st.blk)
+	for l, off := range offs {
+		copy(slab[l*st.blk:(l+1)*st.blk], vec[off:off+st.blk])
+	}
+	st.g.s.m.ChargeCopy(p, node, len(slab))
+	st.g.s.m.Stats.AddCopy(len(slab))
+	return slab
+}
+
+// ReduceScatter combines the members' send vectors (Size()*blk bytes,
+// group order) elementwise and scatters the result: the member with group
+// rank i receives reduced block i in recv (MPI_Reduce_scatter_block
+// semantics).
+func (g *Group) ReduceScatter(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op) {
+	ds := dataspec{dt: dt, op: op}
+	if err := ds.validate(len(send)); err != nil {
+		panic(err)
+	}
+	if len(send) != len(recv)*g.Size() {
+		panic(fmt.Sprintf("core: ReduceScatter send %d bytes, want %d", len(send), len(recv)*g.Size()))
+	}
+	if len(recv)%dt.Size() != 0 {
+		panic(fmt.Sprintf("core: ReduceScatter block %d not element-aligned", len(recv)))
+	}
+	st, release := g.acquire(rank, func() any { return newReduceScatterState(g, len(recv), ds) })
+	defer release()
+	r := st.(*reduceScatterState)
+	if r.blk != len(recv) || r.ds != ds {
+		panic(fmt.Sprintf("core: ReduceScatter mismatch at rank %d", rank))
+	}
+	r.run(p, rank, send, recv)
+}
+
+// ReduceScatter is Group.ReduceScatter over all ranks.
+func (s *SRM) ReduceScatter(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op) {
+	s.World().ReduceScatter(p, rank, send, recv, dt, op)
+}
+
+func (st *reduceScatterState) run(p *sim.Proc, rank int, send, recv []byte) {
+	g := st.g
+	s := g.s
+	x := g.lay.ni[rank]
+	li := g.lay.li[rank]
+	nn := len(g.lay.nodes)
+
+	// Phase 1: full-vector SMP reduce into the master's partial buffer.
+	if rank != g.lay.local[x][0] {
+		st.rn[x].worker(p, li, send, st.sp, st.ds)
+	} else {
+		ep := s.dom.Endpoint(rank)
+		for k, c := range st.sp {
+			tchunk := st.partial[x][c.off : c.off+c.n]
+			own := send[c.off : c.off+c.n]
+			if !st.rn[x].masterChunk(p, k, tchunk, own, st.ds) && c.n > 0 {
+				s.m.Memcpy(p, g.lay.nodes[x], tchunk, own) // single member node
+			}
+		}
+		// Phase 2: ship each peer node its members' blocks, combine the
+		// inbound partials for this node's own blocks.
+		copy(st.acc[x], st.slabFor(p, g.lay.nodes[x], st.partial[x], x))
+		for d := 1; d < nn; d++ {
+			y := (x + d) % nn
+			slab := st.slabFor(p, g.lay.nodes[x], st.partial[x], y)
+			ep.Put(p, s.dom.Endpoint(g.lay.local[y][0]), st.slot[y][x],
+				slab, nil, st.arr[y][x], nil)
+		}
+		for d := 1; d < nn; d++ {
+			y := (x + d) % nn
+			ep.Waitcntr(p, st.arr[x][y], 1)
+			if len(st.acc[x]) > 0 {
+				st.ds.acc(st.acc[x], st.slot[x][y])
+				s.combineCharge(p, len(st.acc[x]), st.ds.dt.Size())
+			}
+		}
+		st.ready[x].Set(1)
+	}
+
+	// Phase 3: every member copies its block out of shared memory.
+	st.ready[x].WaitFor(p, 1)
+	if st.blk > 0 {
+		off := li * st.blk
+		s.m.Memcpy(p, g.lay.nodes[x], recv, st.acc[x][off:off+st.blk])
+	}
+}

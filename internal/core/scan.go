@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// scanState implements MPI_Scan (inclusive prefix reduction over group
+// ranks) with a Hillis-Steele doubling schedule carried by RMA puts:
+// ceil(log2 P) rounds, in round r member i sends its running partial to
+// member i+2^r and folds in the partial from member i-2^r. Intra-node
+// hops automatically become shared-memory copies (the RMA loopback), so
+// with block rank placement the first log2(tasks-per-node) rounds never
+// touch the network. Only commutative operators are supported (all the
+// operators of internal/dtype are).
+type scanState struct {
+	g    *Group
+	size int
+	ds   dataspec
+
+	rounds int
+	slot   [][][]byte       // [member][round]
+	arr    [][]*rma.Counter // [member][round]
+	shift  [][]byte         // Exscan: the shifted-result landing zone
+	sarr   []*rma.Counter
+}
+
+func newScanState(g *Group, size int, ds dataspec) *scanState {
+	s := g.s
+	P := len(g.lay.members)
+	st := &scanState{
+		g:     g,
+		size:  size,
+		ds:    ds,
+		slot:  make([][][]byte, P),
+		arr:   make([][]*rma.Counter, P),
+		shift: make([][]byte, P),
+		sarr:  make([]*rma.Counter, P),
+	}
+	for st.rounds = 0; 1<<st.rounds < P; st.rounds++ {
+	}
+	for i := 0; i < P; i++ {
+		st.slot[i] = make([][]byte, st.rounds)
+		st.arr[i] = make([]*rma.Counter, st.rounds)
+		for r := 0; r < st.rounds; r++ {
+			st.slot[i][r] = make([]byte, size)
+			st.arr[i][r] = s.dom.NewCounter(0)
+		}
+		st.shift[i] = make([]byte, size)
+		st.sarr[i] = s.dom.NewCounter(0)
+	}
+	return st
+}
+
+// Scan leaves in each member's recv the reduction of the send buffers of
+// all members with group rank <= its own (inclusive prefix).
+func (g *Group) Scan(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op) {
+	g.scan(p, rank, send, recv, dt, op, false)
+}
+
+// Exscan is the exclusive prefix: member i receives the reduction over
+// group ranks < i; the first member's recv is left zeroed.
+func (g *Group) Exscan(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op) {
+	g.scan(p, rank, send, recv, dt, op, true)
+}
+
+func (g *Group) scan(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, exclusive bool) {
+	ds := dataspec{dt: dt, op: op}
+	if err := ds.validate(len(send)); err != nil {
+		panic(err)
+	}
+	if len(recv) != len(send) {
+		panic(fmt.Sprintf("core: scan recv %d bytes, want %d", len(recv), len(send)))
+	}
+	st, release := g.acquire(rank, func() any { return newScanState(g, len(send), ds) })
+	defer release()
+	sc := st.(*scanState)
+	if sc.size != len(send) || sc.ds != ds {
+		panic(fmt.Sprintf("core: scan mismatch at rank %d", rank))
+	}
+	sc.run(p, rank, send, recv, exclusive)
+}
+
+// Scan is Group.Scan over all ranks.
+func (s *SRM) Scan(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op) {
+	s.World().Scan(p, rank, send, recv, dt, op)
+}
+
+// Exscan is Group.Exscan over all ranks.
+func (s *SRM) Exscan(p *sim.Proc, rank int, send, recv []byte, dt dtype.Type, op dtype.Op) {
+	s.World().Exscan(p, rank, send, recv, dt, op)
+}
+
+func (st *scanState) run(p *sim.Proc, rank int, send, recv []byte, exclusive bool) {
+	g := st.g
+	s := g.s
+	gi := g.lay.li[rank] // placeholder; real group rank below
+	for i, r := range g.lay.members {
+		if r == rank {
+			gi = i
+		}
+	}
+	P := len(g.lay.members)
+	node := g.lay.nodes[g.lay.ni[rank]]
+	ep := s.dom.Endpoint(rank)
+
+	// Running inclusive partial lives in recv.
+	if st.size > 0 {
+		s.m.Memcpy(p, node, recv, send)
+	}
+	for r := 0; r < st.rounds; r++ {
+		dist := 1 << r
+		if gi+dist < P {
+			target := g.lay.members[gi+dist]
+			ep.Put(p, s.dom.Endpoint(target), st.slot[gi+dist][r], recv,
+				nil, st.arr[gi+dist][r], nil)
+		}
+		if gi-dist >= 0 {
+			ep.Waitcntr(p, st.arr[gi][r], 1)
+			if st.size > 0 {
+				st.ds.acc(recv, st.slot[gi][r]) // commutative fold
+				s.combineCharge(p, st.size, st.ds.dt.Size())
+			}
+		}
+	}
+	if !exclusive {
+		return
+	}
+	// Exscan: shift the inclusive results right by one member.
+	if gi+1 < P {
+		target := g.lay.members[gi+1]
+		ep.Put(p, s.dom.Endpoint(target), st.shift[gi+1], recv, nil, st.sarr[gi+1], nil)
+	}
+	if gi > 0 {
+		ep.Waitcntr(p, st.sarr[gi], 1)
+		if st.size > 0 {
+			s.m.Memcpy(p, node, recv, st.shift[gi])
+		}
+	} else {
+		for i := range recv {
+			recv[i] = 0
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"srmcoll/internal/shm"
+	"srmcoll/internal/sim"
+	"srmcoll/internal/tree"
+)
+
+// smpPub is the per-node SMP broadcast machinery of Figure 3: two shared
+// buffers with a READY counter published by the master and per-task DONE
+// flags, forming a two-slot pipeline. When the source of a chunk is already
+// in shared memory (the inter-node receive buffers of the small-message
+// broadcast), Publish skips the copy-in — "the SMP broadcast recognizing
+// that the data is in shared memory avoids unnecessary data copies" (§2.4).
+type smpPub struct {
+	s           *SRM
+	node        int
+	masterLocal int
+	buf         [2][]byte // shared staging buffers (A and B)
+	cur         [2][]byte // slice local tasks read chunk parity from
+	ready       *shm.Flag // chunks made readable (monotone count)
+	done        *shm.FlagSet
+}
+
+func (s *SRM) newSmpPub(node, masterLocal, count, bufSize int) *smpPub {
+	pub := &smpPub{
+		s:           s,
+		node:        node,
+		masterLocal: masterLocal,
+		ready:       shm.NewFlag(s.m, node),
+		done:        shm.NewFlagSet(s.m, node, count),
+	}
+	pub.buf[0] = make([]byte, bufSize)
+	pub.buf[1] = make([]byte, bufSize)
+	return pub
+}
+
+// waitConsumed blocks the master until every other local task has consumed
+// chunks 0..k (done flags reach k+1).
+func (pub *smpPub) waitConsumed(p *sim.Proc, k int) {
+	for i := 0; i < pub.done.Len(); i++ {
+		if i == pub.masterLocal {
+			continue
+		}
+		pub.done.Flag(i).WaitUntil(p, func(v int) bool { return v >= k+1 })
+	}
+}
+
+// Publish makes chunk k (content src) readable by the node's other tasks.
+// With direct=true src is already shared memory and is exposed as is;
+// otherwise the master copies it into the staging buffer of parity k%2,
+// first waiting for that buffer's previous chunk to be consumed.
+func (pub *smpPub) Publish(p *sim.Proc, k int, src []byte, direct bool) {
+	if pub.done.Len() == 1 {
+		return // no other task on the node
+	}
+	parity := k % 2
+	if direct {
+		pub.cur[parity] = src
+	} else {
+		if k >= 2 {
+			pub.waitConsumed(p, k-2) // buffer reuse: Figure 3 flag protocol
+		}
+		pub.s.m.Memcpy(p, pub.node, pub.buf[parity][:len(src)], src)
+		pub.cur[parity] = pub.buf[parity][:len(src)]
+	}
+	pub.ready.Set(k + 1)
+}
+
+// Consume copies chunk k into dst at a non-master task.
+func (pub *smpPub) Consume(p *sim.Proc, local, k int, dst []byte) {
+	pub.ready.WaitUntil(p, func(v int) bool { return v >= k+1 })
+	if len(dst) > 0 {
+		pub.s.m.Memcpy(p, pub.node, dst, pub.cur[k%2][:len(dst)])
+	}
+	pub.done.Flag(local).Set(k + 1)
+}
+
+// treePub is the tree-based SMP broadcast variant §2.2 measured and
+// rejected ("this algorithm has achieved a much better performance than
+// the tree-based algorithms" refers to the flat one). Kept for ablation
+// A2. Each interior task owns a staging buffer; chunks flow down the
+// intra-node tree, one copy per level on the critical path.
+type treePub struct {
+	s    *SRM
+	node int
+	tr   tree.Tree
+	buf  [][2][]byte   // per local task
+	full []*shm.Flag   // chunks available at this task's buffer
+	ack  [][]*shm.Flag // per task, per child: chunks pulled by that child
+}
+
+func (s *SRM) newTreePub(node, masterLocal, count, bufSize int) *treePub {
+	tp := &treePub{
+		s:    s,
+		node: node,
+		tr:   tree.New(tree.Binomial, count, masterLocal),
+		buf:  make([][2][]byte, count),
+		full: make([]*shm.Flag, count),
+		ack:  make([][]*shm.Flag, count),
+	}
+	for i := 0; i < count; i++ {
+		tp.buf[i] = [2][]byte{make([]byte, bufSize), make([]byte, bufSize)}
+		tp.full[i] = shm.NewFlag(s.m, node)
+		tp.ack[i] = make([]*shm.Flag, len(tp.tr.Children[i]))
+		for j := range tp.ack[i] {
+			tp.ack[i][j] = shm.NewFlag(s.m, node)
+		}
+	}
+	return tp
+}
+
+// Publish runs the master side: copy chunk k into the master buffer and
+// mark it available; children pull it down the tree in their own Consume.
+func (tp *treePub) Publish(p *sim.Proc, k int, src []byte, direct bool) {
+	root := tp.tr.Root
+	if len(tp.full) == 1 {
+		return
+	}
+	parity := k % 2
+	if direct {
+		tp.buf[root][parity] = src // expose shared source without a copy
+	} else {
+		if k >= 2 {
+			tp.waitAcks(p, root, k-2)
+		}
+		tp.s.m.Memcpy(p, tp.node, tp.buf[root][parity][:len(src)], src)
+	}
+	tp.full[root].Set(k + 1)
+}
+
+// waitAcks blocks until every child of local task v pulled chunk k.
+func (tp *treePub) waitAcks(p *sim.Proc, v, k int) {
+	for _, f := range tp.ack[v] {
+		f.WaitUntil(p, func(x int) bool { return x >= k+1 })
+	}
+}
+
+// Consume runs a non-master task: pull chunk k from the parent's buffer
+// into dst and, if this task has children, into its own staging buffer.
+func (tp *treePub) Consume(p *sim.Proc, local, k int, dst []byte) {
+	parent := tp.tr.Parent[local]
+	parity := k % 2
+	tp.full[parent].WaitUntil(p, func(v int) bool { return v >= k+1 })
+	src := tp.buf[parent][parity][:len(dst)]
+	if len(tp.tr.Children[local]) > 0 {
+		if k >= 2 {
+			tp.waitAcks(p, local, k-2)
+		}
+		if len(dst) > 0 {
+			tp.s.m.Memcpy(p, tp.node, tp.buf[local][parity][:len(dst)], src)
+			tp.s.m.Memcpy(p, tp.node, dst, tp.buf[local][parity][:len(dst)])
+		}
+		tp.full[local].Set(k + 1)
+	} else if len(dst) > 0 {
+		tp.s.m.Memcpy(p, tp.node, dst, src)
+	}
+	// Tell the parent this child is done with chunk k.
+	for j, c := range tp.tr.Children[parent] {
+		if c == local {
+			tp.ack[parent][j].Set(k + 1)
+		}
+	}
+}
+
+// waitConsumed blocks the master until the whole subtree consumed chunk k.
+// With the ack chain, the master's direct children acking chunk k implies
+// their subtrees have copied it (children ack only after their own copy).
+func (tp *treePub) waitConsumed(p *sim.Proc, k int) {
+	tp.waitAcks(p, tp.tr.Root, k)
+}
+
+// publisher abstracts the two SMP broadcast variants.
+type publisher interface {
+	Publish(p *sim.Proc, k int, src []byte, direct bool)
+	Consume(p *sim.Proc, local, k int, dst []byte)
+	waitConsumed(p *sim.Proc, k int)
+}
+
+// newPublisher picks the SMP broadcast variant per Options. count is the
+// number of participating tasks on the node; masterLocal indexes them.
+func (s *SRM) newPublisher(node, masterLocal, count, bufSize int) publisher {
+	switch {
+	case s.opt.TreeSMPBcst:
+		return s.newTreePub(node, masterLocal, count, bufSize)
+	case s.opt.BarrierSMPBcst:
+		return s.newBarrierPub(node, masterLocal, count, bufSize)
+	default:
+		return s.newSmpPub(node, masterLocal, count, bufSize)
+	}
+}
+
+// redNode is the per-node SMP reduce machinery of Figure 2: one shared slot
+// (double-buffered for the chunk pipeline) per local task, with monotone
+// full/free flags. Leaves copy their contribution in; interior tasks
+// combine child slots with their own user buffer in place.
+type redNode struct {
+	s    *SRM
+	node int
+	tr   tree.Tree // intra-node reduce tree, rooted at the master
+	slot [][2][]byte
+	full []*shm.Flag
+	free []*shm.Flag
+}
+
+func (s *SRM) newRedNode(node, masterLocal, count, chunk int) *redNode {
+	rn := &redNode{
+		s:    s,
+		node: node,
+		tr:   tree.New(s.opt.IntraTree, count, masterLocal),
+		slot: make([][2][]byte, count),
+		full: make([]*shm.Flag, count),
+		free: make([]*shm.Flag, count),
+	}
+	for i := 0; i < count; i++ {
+		rn.slot[i] = [2][]byte{make([]byte, chunk), make([]byte, chunk)}
+		rn.full[i] = shm.NewFlag(s.m, node)
+		rn.free[i] = shm.NewFlag(s.m, node)
+	}
+	return rn
+}
+
+// worker runs the complete non-master role of the SMP reduce over all
+// chunks of send: leaves copy chunks into their slot; interior tasks wait
+// for child slots and combine them with their own data into their slot.
+func (rn *redNode) worker(p *sim.Proc, local int, send []byte, sp []span, ds dataspec) {
+	for k, c := range sp {
+		parity := k % 2
+		// Wait for the parent to have consumed this parity's previous chunk.
+		rn.free[local].WaitUntil(p, func(v int) bool { return v >= k-1 })
+		target := rn.slot[local][parity][:c.n]
+		own := send[c.off : c.off+c.n]
+		kids := rn.tr.Children[local]
+		if len(kids) == 0 {
+			if c.n > 0 {
+				rn.s.m.Memcpy(p, rn.node, target, own) // the Figure 2 leaf copy
+			}
+		} else {
+			rn.combineChildren(p, k, kids, target, own, ds)
+		}
+		rn.full[local].Set(k + 1)
+	}
+}
+
+// combineChildren folds the chunk-k slots of kids together with own into
+// target, charging combine time; it marks each child slot free afterwards.
+func (rn *redNode) combineChildren(p *sim.Proc, k int, kids []int, target, own []byte, ds dataspec) {
+	parity := k % 2
+	first := true
+	for _, c := range kids {
+		rn.full[c].WaitUntil(p, func(v int) bool { return v >= k+1 })
+		src := rn.slot[c][parity][:len(target)]
+		if len(target) > 0 {
+			if first {
+				ds.into(target, own, src)
+			} else {
+				ds.acc(target, src)
+			}
+			rn.s.combineCharge(p, len(target), ds.dt.Size())
+		}
+		first = false
+		rn.free[c].Set(k + 1)
+	}
+}
+
+// masterChunk runs the master's local-children combine for chunk k,
+// producing the node partial into target. It reports false when the master
+// has no local children (target untouched; the caller uses the master's
+// own send chunk as the partial).
+func (rn *redNode) masterChunk(p *sim.Proc, k int, target, own []byte, ds dataspec) bool {
+	kids := rn.tr.Children[rn.tr.Root]
+	if len(kids) == 0 {
+		return false
+	}
+	rn.combineChildren(p, k, kids, target, own, ds)
+	return true
+}
+
+// barrierPub is the Sistare-style SMP broadcast the paper contrasts with
+// in §4: access to the shared buffer is arbitrated by full SMP barriers
+// (everyone synchronizes before the master overwrites a buffer and after
+// the copy-out) instead of per-task flags. The stronger synchronization
+// makes every chunk wait for the slowest task — the "susceptible to
+// processor late arrivals" behaviour SRM's flag protocol avoids.
+type barrierPub struct {
+	s           *SRM
+	node        int
+	masterLocal int
+	count       int
+	buf         [2][]byte
+	cur         [2][]byte
+	epoch       *shm.Flag    // barrier generation counter
+	checkin     *shm.FlagSet // per-task arrival flags
+}
+
+func (s *SRM) newBarrierPub(node, masterLocal, count, bufSize int) *barrierPub {
+	pub := &barrierPub{
+		s:           s,
+		node:        node,
+		masterLocal: masterLocal,
+		count:       count,
+		epoch:       shm.NewFlag(s.m, node),
+		checkin:     shm.NewFlagSet(s.m, node, count),
+	}
+	pub.buf[0] = make([]byte, bufSize)
+	pub.buf[1] = make([]byte, bufSize)
+	return pub
+}
+
+// barrier runs one flat SMP barrier among the node's tasks, master side.
+func (pub *barrierPub) barrierMaster(p *sim.Proc, gen int) {
+	for i := 0; i < pub.count; i++ {
+		if i == pub.masterLocal {
+			continue
+		}
+		pub.checkin.Flag(i).WaitUntil(p, func(v int) bool { return v >= gen })
+	}
+	pub.epoch.Set(gen)
+}
+
+// barrierWorker is the non-master side of the same barrier.
+func (pub *barrierPub) barrierWorker(p *sim.Proc, local, gen int) {
+	pub.checkin.Flag(local).Set(gen)
+	pub.epoch.WaitUntil(p, func(v int) bool { return v >= gen })
+}
+
+func (pub *barrierPub) Publish(p *sim.Proc, k int, src []byte, direct bool) {
+	if pub.count == 1 {
+		return
+	}
+	// Barrier #1: nobody may still be reading this parity's buffer.
+	pub.barrierMaster(p, 2*k+1)
+	parity := k % 2
+	if direct {
+		pub.cur[parity] = src
+	} else {
+		pub.s.m.Memcpy(p, pub.node, pub.buf[parity][:len(src)], src)
+		pub.cur[parity] = pub.buf[parity][:len(src)]
+	}
+	// Barrier #2: the buffer is full; everyone may read.
+	pub.barrierMaster(p, 2*k+2)
+}
+
+func (pub *barrierPub) Consume(p *sim.Proc, local, k int, dst []byte) {
+	pub.barrierWorker(p, local, 2*k+1)
+	pub.barrierWorker(p, local, 2*k+2)
+	if len(dst) > 0 {
+		pub.s.m.Memcpy(p, pub.node, dst, pub.cur[k%2][:len(dst)])
+	}
+	// Check in to the buffer-free barrier (generation 2k+3); the master
+	// collects it in the next Publish or in waitConsumed.
+	pub.checkin.Flag(local).Set(2*k + 3)
+}
+
+func (pub *barrierPub) waitConsumed(p *sim.Proc, k int) {
+	if pub.count == 1 {
+		return
+	}
+	// One more barrier guarantees all reads of chunk k finished.
+	pub.barrierMaster(p, 2*k+3)
+}

@@ -1,0 +1,263 @@
+// Package dtype defines the element types and reduction operators of the
+// collective operations (MPI_Reduce-style), applied to raw byte buffers in
+// little-endian layout. The paper evaluates sum over float64 ("the sum
+// operator and double data type"); the full MPI-like operator set is
+// provided for the library API.
+package dtype
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Type is an element type.
+type Type int
+
+const (
+	Float64 Type = iota
+	Float32
+	Int64
+	Int32
+	Uint8
+)
+
+// Size returns the element size in bytes.
+func (t Type) Size() int {
+	switch t {
+	case Float64, Int64:
+		return 8
+	case Float32, Int32:
+		return 4
+	case Uint8:
+		return 1
+	}
+	panic(fmt.Sprintf("dtype: unknown type %d", int(t)))
+}
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	case Int64:
+		return "int64"
+	case Int32:
+		return "int32"
+	case Uint8:
+		return "uint8"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	Sum Op = iota
+	Prod
+	Min
+	Max
+	Band // integer types only
+	Bor  // integer types only
+	Bxor // integer types only
+)
+
+// String returns the operator name.
+func (o Op) String() string {
+	switch o {
+	case Sum:
+		return "sum"
+	case Prod:
+		return "prod"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Band:
+		return "band"
+	case Bor:
+		return "bor"
+	case Bxor:
+		return "bxor"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Valid reports whether the operator applies to the type (bitwise operators
+// require an integer type, as in MPI).
+func Valid(o Op, t Type) bool {
+	if o == Band || o == Bor || o == Bxor {
+		return t == Int64 || t == Int32 || t == Uint8
+	}
+	return o >= Sum && o <= Max
+}
+
+type number interface {
+	~float64 | ~float32 | ~int64 | ~int32 | ~uint8
+}
+
+type integer interface {
+	~int64 | ~int32 | ~uint8
+}
+
+func combine[T number](o Op, d, s T) T {
+	switch o {
+	case Sum:
+		return d + s
+	case Prod:
+		return d * s
+	case Min:
+		if s < d {
+			return s
+		}
+		return d
+	case Max:
+		if s > d {
+			return s
+		}
+		return d
+	}
+	panic("dtype: " + o.String() + " is not an arithmetic operator")
+}
+
+func combineBits[T integer](o Op, d, s T) T {
+	switch o {
+	case Band:
+		return d & s
+	case Bor:
+		return d | s
+	case Bxor:
+		return d ^ s
+	}
+	panic("dtype: not a bitwise operator")
+}
+
+// Reduce applies dst[i] = dst[i] op src[i] elementwise over buffers of the
+// given type. It panics when the buffers differ in length, the length is
+// not a multiple of the element size, or the operator does not apply to
+// the type. Passing identical or zero-length buffers is allowed.
+func Reduce(o Op, t Type, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("dtype: Reduce length mismatch %d != %d", len(dst), len(src)))
+	}
+	if len(dst)%t.Size() != 0 {
+		panic(fmt.Sprintf("dtype: buffer length %d not a multiple of %s size %d",
+			len(dst), t, t.Size()))
+	}
+	if !Valid(o, t) {
+		panic(fmt.Sprintf("dtype: operator %s not valid for %s", o, t))
+	}
+	switch t {
+	case Float64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(combine(o, d, s)))
+		}
+	case Float32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			d := math.Float32frombits(binary.LittleEndian.Uint32(dst[i:]))
+			s := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(combine(o, d, s)))
+		}
+	case Int64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			d := int64(binary.LittleEndian.Uint64(dst[i:]))
+			s := int64(binary.LittleEndian.Uint64(src[i:]))
+			var r int64
+			if o >= Band {
+				r = combineBits(o, d, s)
+			} else {
+				r = combine(o, d, s)
+			}
+			binary.LittleEndian.PutUint64(dst[i:], uint64(r))
+		}
+	case Int32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			d := int32(binary.LittleEndian.Uint32(dst[i:]))
+			s := int32(binary.LittleEndian.Uint32(src[i:]))
+			var r int32
+			if o >= Band {
+				r = combineBits(o, d, s)
+			} else {
+				r = combine(o, d, s)
+			}
+			binary.LittleEndian.PutUint32(dst[i:], uint32(r))
+		}
+	case Uint8:
+		for i := range dst {
+			if o >= Band {
+				dst[i] = combineBits(o, dst[i], src[i])
+			} else {
+				dst[i] = combine(o, dst[i], src[i])
+			}
+		}
+	}
+}
+
+// ReduceInto computes dst[i] = a[i] op b[i] without requiring dst to hold an
+// operand first. The SRM interior reduce uses it to combine a task's own
+// user buffer with a child's shared-memory slot in one pass, avoiding the
+// extra copy message-passing implementations pay (Figure 2). dst may alias
+// a or b. All three buffers must have equal length.
+func ReduceInto(o Op, t Type, dst, a, b []byte) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(fmt.Sprintf("dtype: ReduceInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	if &dst[0] != &a[0] {
+		copy(dst, a)
+	}
+	Reduce(o, t, dst, b)
+}
+
+// PutFloat64s encodes vals into dst (len(dst) >= 8*len(vals)).
+func PutFloat64s(dst []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+// Float64s decodes b (a multiple of 8 bytes) into a fresh slice.
+func Float64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Float64Bytes encodes vals into a fresh buffer.
+func Float64Bytes(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	PutFloat64s(b, vals)
+	return b
+}
+
+// PutInt64s encodes vals into dst (len(dst) >= 8*len(vals)).
+func PutInt64s(dst []byte, vals []int64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[8*i:], uint64(v))
+	}
+}
+
+// Int64s decodes b (a multiple of 8 bytes) into a fresh slice.
+func Int64s(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Int64Bytes encodes vals into a fresh buffer.
+func Int64Bytes(vals []int64) []byte {
+	b := make([]byte, 8*len(vals))
+	PutInt64s(b, vals)
+	return b
+}

@@ -1,0 +1,339 @@
+package exp
+
+import (
+	"fmt"
+
+	"srmcoll"
+)
+
+// AblationTrees (A1) compares inter-node tree shapes for SRM broadcast and
+// reduce, the §2.1 experiment that selected binomial trees.
+func AblationTrees(g Grid, op Op) *Table {
+	procs := g.Procs[len(g.Procs)-1]
+	t := &Table{
+		ID:    "ablation-trees-" + op.String(),
+		Title: fmt.Sprintf("SRM %s time (us) on %d CPUs by inter-node tree (§2.1)", op, procs),
+		Cols:  []string{"bytes", "binomial", "binary", "fibonacci"},
+		Prec:  1,
+	}
+	kinds := []srmcoll.Variant{
+		{InterTree: srmcoll.Binomial},
+		{InterTree: srmcoll.Binary},
+		{InterTree: srmcoll.Fibonacci},
+	}
+	for _, size := range g.Sizes {
+		row := []float64{float64(size)}
+		for _, v := range kinds {
+			row = append(row, MeasureOp(g, srmcoll.SRM, op, procs, size, v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// AblationSMPBcast (A2) compares the flat two-buffer SMP broadcast with the
+// tree-based variant §2.2 rejected, on a single node.
+func AblationSMPBcast(g Grid) *Table {
+	t := &Table{
+		ID:    "ablation-smpbcast",
+		Title: fmt.Sprintf("single-node SMP broadcast time (us), %d tasks (§2.2)", g.TasksPerNode),
+		Cols:  []string{"bytes", "flat", "tree"},
+		Prec:  1,
+	}
+	oneNode := Grid{
+		TasksPerNode: g.TasksPerNode,
+		Procs:        []int{g.TasksPerNode},
+		Iters:        g.Iters,
+		LargeOnce:    g.LargeOnce,
+	}
+	for _, size := range g.Sizes {
+		t.Rows = append(t.Rows, []float64{
+			float64(size),
+			MeasureOp(oneNode, srmcoll.SRM, Bcast, g.TasksPerNode, size, srmcoll.Variant{}),
+			MeasureOp(oneNode, srmcoll.SRM, Bcast, g.TasksPerNode, size, srmcoll.Variant{TreeSMPBcst: true}),
+		})
+	}
+	return t
+}
+
+// AblationYield (A3) measures the §2.4 spin-with-yield rule: without
+// yielding, tasks spinning on shared-memory flags starve the communication
+// service threads and remote deliveries pay a penalty.
+func AblationYield(g Grid, op Op) *Table {
+	procs := g.Procs[len(g.Procs)-1]
+	t := &Table{
+		ID:    "ablation-yield-" + op.String(),
+		Title: fmt.Sprintf("SRM %s time (us) on %d CPUs, spin-with-yield vs pure spin (§2.4)", op, procs),
+		Cols:  []string{"bytes", "yield", "no-yield"},
+		Prec:  1,
+	}
+	withYield := srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode)
+	noYield := withYield
+	noYield.SpinYield = false
+	for _, size := range g.SmallSizes {
+		t.Rows = append(t.Rows, []float64{
+			float64(size),
+			measureCfg(g, withYield, srmcoll.SRM, op, size, srmcoll.Variant{}),
+			measureCfg(g, noYield, srmcoll.SRM, op, size, srmcoll.Variant{}),
+		})
+	}
+	return t
+}
+
+// AblationChunks (A4) sweeps the SRM pipeline chunk sizes the paper
+// hand-tuned (4 KB small-message chunks, 64 KB large-message chunks),
+// anticipating §5's plan for a model-driven tuning of these parameters.
+func AblationChunks(g Grid) *Table {
+	procs := g.Procs[len(g.Procs)-1]
+	t := &Table{
+		ID:    "ablation-chunks",
+		Title: fmt.Sprintf("SRM bcast time (us) on %d CPUs by pipeline chunk size (§2.4)", procs),
+		Cols:  []string{"chunkKB", "bcast32KB", "bcast1MB"},
+		Prec:  1,
+	}
+	base := srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode)
+	for _, chunkKB := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := base
+		cfg.SRMSmallChunk = min(chunkKB<<10, cfg.SRMBcastBufSize)
+		cfg.SRMLargeChunk = chunkKB << 10
+		t.Rows = append(t.Rows, []float64{
+			float64(chunkKB),
+			measureCfg(g, cfg, srmcoll.SRM, Bcast, 32<<10, srmcoll.Variant{}),
+			measureCfg(g, cfg, srmcoll.SRM, Bcast, 1<<20, srmcoll.Variant{}),
+		})
+	}
+	return t
+}
+
+// Extension compares the SRM-style gather, scatter and allgather added on
+// top of the paper's operation set with their message-passing baselines.
+func Extension(g Grid) *Table {
+	procs := g.Procs[len(g.Procs)-1]
+	t := &Table{
+		ID:    "extension-collectives",
+		Title: fmt.Sprintf("gather/scatter/allgather per-rank block sweep on %d CPUs (extension)", procs),
+		Cols: []string{"blkBytes", "gather-srm", "gather-ibm", "scatter-srm", "scatter-ibm",
+			"allgather-srm", "allgather-ibm", "alltoall-srm", "alltoall-ibm",
+			"redscat-srm", "redscat-ibm"},
+		Prec: 1,
+	}
+	cfg := srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode)
+	for _, blk := range []int{16, 256, 4 << 10, 32 << 10} {
+		row := []float64{float64(blk)}
+		for _, op := range []string{"gather", "scatter", "allgather", "alltoall", "redscat"} {
+			for _, impl := range []srmcoll.Impl{srmcoll.SRM, srmcoll.IBMMPI} {
+				row = append(row, measureExt(cfg, impl, op, blk))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// measureExt times one extension collective call.
+func measureExt(cfg srmcoll.Config, impl srmcoll.Impl, op string, blk int) float64 {
+	cl, err := srmcoll.NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := cl.Run(impl, func(c *srmcoll.Comm) {
+		switch op {
+		case "gather":
+			var rb []byte
+			if c.Rank() == 0 {
+				rb = make([]byte, blk*c.Size())
+			}
+			c.Gather(make([]byte, blk), rb, 0)
+		case "scatter":
+			var sb []byte
+			if c.Rank() == 0 {
+				sb = make([]byte, blk*c.Size())
+			}
+			c.Scatter(sb, make([]byte, blk), 0)
+		case "allgather":
+			c.Allgather(make([]byte, blk), make([]byte, blk*c.Size()))
+		case "alltoall":
+			c.Alltoall(make([]byte, blk*c.Size()), make([]byte, blk*c.Size()))
+		case "redscat":
+			c.ReduceScatter(make([]byte, blk*c.Size()), make([]byte, blk), srmcoll.Float64, srmcoll.Sum)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res.Time
+}
+
+// AblationInterrupts (A7) measures the §2.3 interrupt-management rule:
+// disabling interrupts on entry to a small-message operation (deliveries
+// then wait for the master's next RMA call) versus leaving them on
+// (deliveries interrupt a master busy in the shared-memory phase).
+func AblationInterrupts(g Grid, op Op) *Table {
+	procs := g.Procs[len(g.Procs)-1]
+	t := &Table{
+		ID:    "ablation-interrupts-" + op.String(),
+		Title: fmt.Sprintf("SRM %s time (us) on %d CPUs: interrupts managed vs always on (§2.3)", op, procs),
+		Cols:  []string{"bytes", "managed", "always-on"},
+		Prec:  1,
+	}
+	for _, size := range g.SmallSizes {
+		t.Rows = append(t.Rows, []float64{
+			float64(size),
+			MeasureOp(g, srmcoll.SRM, op, procs, size, srmcoll.Variant{}),
+			MeasureOp(g, srmcoll.SRM, op, procs, size, srmcoll.Variant{KeepInterrupts: true}),
+		})
+	}
+	return t
+}
+
+// AblationEager (A5) shows the §2.3 buffer-management effect: the vendor
+// MPI shrinks its Eager limit as the task count grows, so a medium-sized
+// message degrades with scale, while SRM's buffering is task-count
+// independent.
+func AblationEager(g Grid) *Table {
+	const size = 2 << 10
+	t := &Table{
+		ID:    "ablation-eager",
+		Title: fmt.Sprintf("%d-byte bcast time (us) vs processors: eager-limit scaling (§2.3)", size),
+		Cols:  []string{"procs", "ibm-mpi", "mpich", "srm"},
+		Prec:  1,
+	}
+	for _, p := range g.Procs {
+		t.Rows = append(t.Rows, []float64{
+			float64(p),
+			MeasureOp(g, srmcoll.IBMMPI, Bcast, p, size, srmcoll.Variant{}),
+			MeasureOp(g, srmcoll.MPICHMPI, Bcast, p, size, srmcoll.Variant{}),
+			MeasureOp(g, srmcoll.SRM, Bcast, p, size, srmcoll.Variant{}),
+		})
+	}
+	return t
+}
+
+// AblationLateArrival (A8) measures the §4 claim against the Sistare-style
+// design: with one straggling task, the flag-based buffer protocol lets
+// punctual tasks proceed, while barrier-arbitrated shared buffers drag
+// everyone down to the straggler.
+func AblationLateArrival(g Grid) *Table {
+	procs := g.Procs[len(g.Procs)-1]
+	t := &Table{
+		ID: "ablation-late-arrival",
+		Title: fmt.Sprintf("4KB bcast on %d CPUs with one task arriving late: flags vs barrier arbitration (§4)",
+			procs),
+		Cols: []string{"lateness-us", "flags", "barrier-arb"},
+		Prec: 1,
+	}
+	cfg := srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode)
+	for _, late := range []float64{0, 50, 200, 800} {
+		row := []float64{late}
+		for _, v := range []srmcoll.Variant{{}, {BarrierSMPBcst: true}} {
+			cl, err := srmcoll.NewCluster(cfg)
+			if err != nil {
+				panic(err)
+			}
+			cl.SetVariant(v)
+			res, err := cl.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+				// The straggler shares the measured rank's node, where the
+				// buffer-arbitration policy decides who waits for whom.
+				if c.Rank() == 2 {
+					c.Compute(late)
+				}
+				c.Bcast(make([]byte, 4096), 0)
+			})
+			if err != nil {
+				panic(err)
+			}
+			// Median punctual completion: rank 1's time.
+			row = append(row, res.PerRank[1])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// AblationFifteenOfSixteen (A9) reproduces the §2.1 daemon configuration:
+// "some applications on the IBM SP leave out one processor and use only 15
+// of the 16 processors per node. For that case, too, our embedding is
+// optimal." The table compares SRM and IBM MPI at 16 and 15 tasks per node
+// on the same node count.
+func AblationFifteenOfSixteen(g Grid) *Table {
+	nodes := nodesFor(g, g.Procs[len(g.Procs)-1])
+	full := g.TasksPerNode
+	trimmed := max(full-1, 1)
+	t := &Table{
+		ID:    "ablation-15of16",
+		Title: fmt.Sprintf("bcast time (us) on %d nodes with %d vs %d tasks per node (§2.1)", nodes, full, trimmed),
+		Cols: []string{"bytes",
+			fmt.Sprintf("srm-%d", full), fmt.Sprintf("ibm-%d", full),
+			fmt.Sprintf("srm-%d", trimmed), fmt.Sprintf("ibm-%d", trimmed)},
+		Prec: 1,
+		LogX: true,
+	}
+	for _, size := range g.SmallSizes {
+		row := []float64{float64(size)}
+		for _, tpn := range []int{full, trimmed} {
+			cfg := srmcoll.ColonySP(nodes, tpn)
+			row = append(row,
+				measureCfg(g, cfg, srmcoll.SRM, Bcast, size, srmcoll.Variant{}),
+				measureCfg(g, cfg, srmcoll.IBMMPI, Bcast, size, srmcoll.Variant{}))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// AblationDaemons (A10) reproduces the practice §2.1 reports: with system
+// daemons active, applications "leave out one processor and use only 15 of
+// the 16 processors per node" — the free CPU absorbs the daemon slices.
+// The table shows SRM broadcast with daemons off and on, fully subscribed
+// and trimmed.
+func AblationDaemons(g Grid) *Table {
+	nodes := nodesFor(g, g.Procs[len(g.Procs)-1])
+	full := g.TasksPerNode
+	trimmed := max(full-1, 1)
+	t := &Table{
+		ID: "ablation-daemons",
+		Title: fmt.Sprintf("SRM bcast time (us) on %d nodes: daemon noise vs the %d-of-%d configuration (§2.1, §3)",
+			nodes, trimmed, full),
+		Cols: []string{"bytes", "quiet", fmt.Sprintf("daemons-%dtasks", full),
+			fmt.Sprintf("daemons-%dtasks", trimmed)},
+		Prec: 1,
+		LogX: true,
+	}
+	mk := func(tpn int, noisy bool) srmcoll.Config {
+		cfg := srmcoll.ColonySP(nodes, tpn)
+		cfg.CPUsPerNode = full
+		if noisy {
+			cfg.DaemonSlice = 150
+			cfg.DaemonPeriod = 2000
+		}
+		return cfg
+	}
+	// Daemon activations are sparse; like the paper's 1000-call averages,
+	// a long train of operations is needed for some calls to hit them.
+	const train = 200
+	measure := func(cfg srmcoll.Config, size int) float64 {
+		cl, err := srmcoll.NewCluster(cfg)
+		if err != nil {
+			panic(err)
+		}
+		res, err := cl.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+			buf := make([]byte, size)
+			for i := 0; i < train; i++ {
+				c.Bcast(buf, 0)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Time / train
+	}
+	for _, size := range g.SmallSizes {
+		t.Rows = append(t.Rows, []float64{
+			float64(size),
+			measure(mk(full, false), size),
+			measure(mk(full, true), size),
+			measure(mk(trimmed, true), size),
+		})
+	}
+	return t
+}

@@ -1,0 +1,215 @@
+// Package exp is the benchmark harness that regenerates the paper's
+// evaluation: Figures 6-12 (absolute performance, SRM/MPI ratios and the
+// barrier scaling study), the headline improvement table, and ablations
+// for the design choices the paper discusses. Each experiment returns a
+// Table that cmd/srmbench prints as text or CSV; EXPERIMENTS.md records
+// paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"srmcoll"
+)
+
+// Op selects a collective operation under measurement.
+type Op int
+
+const (
+	Bcast Op = iota
+	Reduce
+	Allreduce
+	Barrier
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case Bcast:
+		return "bcast"
+	case Reduce:
+		return "reduce"
+	case Allreduce:
+		return "allreduce"
+	case Barrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Table is one experiment's result grid. The first column is the x axis.
+type Table struct {
+	ID    string
+	Title string
+	Cols  []string
+	Rows  [][]float64
+	Prec  int  // digits after the decimal point when printing
+	LogX  bool // rendering hint: logarithmic x axis
+	LogY  bool // rendering hint: logarithmic y axis
+}
+
+// XY splits the table into the shared x vector and one y vector per
+// remaining column, for plotting.
+func (t *Table) XY() (x []float64, ys [][]float64) {
+	ys = make([][]float64, len(t.Cols)-1)
+	for _, row := range t.Rows {
+		x = append(x, row[0])
+		for i := range ys {
+			ys[i] = append(ys[i], row[1+i])
+		}
+	}
+	return x, ys
+}
+
+// Text renders the table aligned for terminals.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	width := make([]int, len(t.Cols))
+	cells := make([][]string, len(t.Rows))
+	for i, col := range t.Cols {
+		width[i] = len(col)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			prec := t.Prec
+			if i == 0 {
+				prec = 0 // x axis: bytes or processor counts
+			}
+			cells[r][i] = fmt.Sprintf("%.*f", prec, v)
+			if len(cells[r][i]) > width[i] {
+				width[i] = len(cells[r][i])
+			}
+		}
+	}
+	for i, col := range t.Cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", width[i], col)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Cols, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			prec := t.Prec
+			if i == 0 {
+				prec = 0
+			}
+			fmt.Fprintf(&b, "%.*f", prec, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Grid is the sweep configuration shared by the figure experiments.
+type Grid struct {
+	TasksPerNode int
+	Procs        []int // total processor counts; each must be a multiple of TasksPerNode
+	Sizes        []int // message sizes for the full-range figures (multiples of 8)
+	SmallSizes   []int // the <=64 KB sub-range of the right-hand panels
+	Iters        int   // back-to-back calls averaged per measurement
+	LargeOnce    int   // sizes above this are measured with a single call
+}
+
+// DefaultGrid reproduces the paper's sweep: 16 tasks per node, 16-256
+// processors, 8 bytes to 8 MB.
+func DefaultGrid() Grid {
+	return Grid{
+		TasksPerNode: 16,
+		Procs:        []int{16, 32, 64, 128, 256},
+		Sizes: []int{8, 32, 128, 512, 2 << 10, 8 << 10, 32 << 10,
+			128 << 10, 512 << 10, 2 << 20, 8 << 20},
+		SmallSizes: []int{8, 64, 512, 4 << 10, 16 << 10, 64 << 10},
+		Iters:      4,
+		LargeOnce:  256 << 10,
+	}
+}
+
+// QuickGrid is a scaled-down sweep for tests and -quick runs.
+func QuickGrid() Grid {
+	return Grid{
+		TasksPerNode: 4,
+		Procs:        []int{8, 16},
+		Sizes:        []int{8, 512, 8 << 10, 128 << 10},
+		SmallSizes:   []int{8, 512, 8 << 10},
+		Iters:        2,
+		LargeOnce:    64 << 10,
+	}
+}
+
+// MeasureOp returns the average virtual time (microseconds) of one
+// collective call of the given size on procs processors, for the chosen
+// implementation and SRM variant.
+func MeasureOp(g Grid, impl srmcoll.Impl, op Op, procs, size int, v srmcoll.Variant) float64 {
+	return measureCfg(g, srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode), impl, op, size, v)
+}
+
+func nodesFor(g Grid, procs int) int {
+	n := procs / g.TasksPerNode
+	if n*g.TasksPerNode != procs || n < 1 {
+		panic(fmt.Sprintf("exp: %d processors not a multiple of %d tasks/node", procs, g.TasksPerNode))
+	}
+	return n
+}
+
+func measureCfg(g Grid, cfg srmcoll.Config, impl srmcoll.Impl, op Op, size int, v srmcoll.Variant) float64 {
+	cl, err := srmcoll.NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	cl.SetVariant(v)
+	iters := g.Iters
+	if size >= g.LargeOnce || iters < 1 {
+		iters = 1
+	}
+	res, err := cl.Run(impl, func(c *srmcoll.Comm) {
+		var send, recv []byte
+		if op != Barrier {
+			send = make([]byte, size)
+			recv = make([]byte, size)
+		}
+		for i := 0; i < iters; i++ {
+			switch op {
+			case Bcast:
+				c.Bcast(send, 0)
+			case Reduce:
+				var rb []byte
+				if c.Rank() == 0 {
+					rb = recv
+				}
+				c.Reduce(send, rb, srmcoll.Float64, srmcoll.Sum, 0)
+			case Allreduce:
+				c.Allreduce(send, recv, srmcoll.Float64, srmcoll.Sum)
+			case Barrier:
+				c.Barrier()
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v %v size=%d: %v", impl, op, size, err))
+	}
+	return res.Time / float64(iters)
+}

@@ -1,0 +1,370 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"srmcoll"
+)
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{Bcast: "bcast", Reduce: "reduce", Allreduce: "allreduce", Barrier: "barrier"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", int(op), op.String())
+		}
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Error("unknown op should print its number")
+	}
+}
+
+func TestTableTextAndCSV(t *testing.T) {
+	tb := &Table{
+		ID:    "t",
+		Title: "demo",
+		Cols:  []string{"bytes", "a", "b"},
+		Rows:  [][]float64{{8, 1.25, 2}, {1024, 3.5, 4.75}},
+		Prec:  2,
+	}
+	text := tb.Text()
+	if !strings.Contains(text, "# t — demo") || !strings.Contains(text, "1.25") {
+		t.Fatalf("Text() = %q", text)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "bytes,a,b\n") || !strings.Contains(csv, "8,1.25,2.00") {
+		t.Fatalf("CSV() = %q", csv)
+	}
+	// The x column prints without decimals.
+	if strings.Contains(csv, "8.00,") {
+		t.Fatalf("x axis formatted with decimals: %q", csv)
+	}
+}
+
+func TestMeasureOpPositiveAndDeterministic(t *testing.T) {
+	g := QuickGrid()
+	for _, op := range []Op{Bcast, Reduce, Allreduce, Barrier} {
+		a := MeasureOp(g, srmcoll.SRM, op, 8, 512, srmcoll.Variant{})
+		b := MeasureOp(g, srmcoll.SRM, op, 8, 512, srmcoll.Variant{})
+		if a <= 0 {
+			t.Errorf("%v: time %v", op, a)
+		}
+		if a != b {
+			t.Errorf("%v: nondeterministic %v vs %v", op, a, b)
+		}
+	}
+}
+
+func TestNodesForRejectsBadProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-multiple processor count")
+		}
+	}()
+	nodesFor(QuickGrid(), 7)
+}
+
+func TestFig2Counts(t *testing.T) {
+	tb := Fig2()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	srmRow, mpichRow := tb.Rows[0], tb.Rows[1]
+	if srmRow[1] != 4 {
+		t.Errorf("SRM shm copies = %v, want 4", srmRow[1])
+	}
+	if mpichRow[2] != 7 || mpichRow[1] != 14 {
+		t.Errorf("MPICH messages/copies = %v/%v, want 7/14", mpichRow[2], mpichRow[1])
+	}
+}
+
+func TestFigAbsoluteShape(t *testing.T) {
+	g := QuickGrid()
+	tb := FigAbsolute(g, Bcast)
+	if len(tb.Rows) != len(g.Sizes) || len(tb.Cols) != 1+len(g.Procs) {
+		t.Fatalf("table shape %dx%d", len(tb.Rows), len(tb.Cols))
+	}
+	// Time grows with message size at fixed P.
+	first, last := tb.Rows[0][1], tb.Rows[len(tb.Rows)-1][1]
+	if last <= first {
+		t.Errorf("bcast time not growing with size: %v .. %v", first, last)
+	}
+}
+
+func TestFigCompareSmallSRMWins(t *testing.T) {
+	g := QuickGrid()
+	tb := FigCompareSmall(g, Bcast)
+	for _, row := range tb.Rows {
+		mpich, ibm, srm := row[1], row[2], row[3]
+		if srm >= ibm || srm >= mpich {
+			t.Errorf("size %v: srm=%v ibm=%v mpich=%v — SRM should win", row[0], srm, ibm, mpich)
+		}
+	}
+}
+
+func TestFigRatioBelow100(t *testing.T) {
+	g := QuickGrid()
+	for _, base := range []srmcoll.Impl{srmcoll.IBMMPI, srmcoll.MPICHMPI} {
+		tb := FigRatio(g, Allreduce, base)
+		for _, row := range tb.Rows {
+			for i := 1; i < len(row); i++ {
+				if row[i] >= 100 {
+					t.Errorf("vs %v size=%v col=%d: ratio %v%% — SRM should be faster",
+						base, row[0], i, row[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFig12Scaling(t *testing.T) {
+	g := QuickGrid()
+	tb := Fig12(g)
+	for _, row := range tb.Rows {
+		srm, ibm, mpich := row[1], row[2], row[3]
+		if srm >= ibm || ibm >= mpich {
+			t.Errorf("P=%v: srm=%v ibm=%v mpich=%v — expected srm < ibm < mpich",
+				row[0], srm, ibm, mpich)
+		}
+	}
+	// Barrier time grows with processor count for every implementation.
+	for c := 1; c <= 3; c++ {
+		if tb.Rows[len(tb.Rows)-1][c] <= tb.Rows[0][c] {
+			t.Errorf("column %d does not grow with P", c)
+		}
+	}
+}
+
+func TestHeadlineQuick(t *testing.T) {
+	g := QuickGrid()
+	tb := Headline(g)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("headline rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		op := Op(int(row[0]))
+		if row[1] <= 0 {
+			t.Errorf("%v: minimum improvement %v%% — SRM should always win", op, row[1])
+		}
+		if row[2] > 100 {
+			t.Errorf("%v: max improvement %v%% out of range", op, row[2])
+		}
+	}
+	text := HeadlineText(tb)
+	if !strings.Contains(text, "barrier") || !strings.Contains(text, "paper-min") {
+		t.Fatalf("HeadlineText = %q", text)
+	}
+}
+
+func TestPaperBands(t *testing.T) {
+	bands := PaperBands()
+	if len(bands) != 4 {
+		t.Fatalf("bands = %d", len(bands))
+	}
+	if bands[0].Op != Bcast || bands[0].Min != 27 || bands[0].Max != 84 {
+		t.Errorf("bcast band = %+v", bands[0])
+	}
+	if bands[3].Op != Barrier || bands[3].Min != 73 {
+		t.Errorf("barrier band = %+v", bands[3])
+	}
+}
+
+func TestAblationTreesBinomialWins(t *testing.T) {
+	// §2.1: binomial trees perform best for inter-node communication.
+	g := QuickGrid()
+	tb := AblationTrees(g, Bcast)
+	worse := 0
+	for _, row := range tb.Rows {
+		binomial, binary, fib := row[1], row[2], row[3]
+		if binomial <= binary && binomial <= fib {
+			worse++
+		}
+	}
+	if worse < len(tb.Rows)/2 {
+		t.Errorf("binomial best on only %d of %d sizes", worse, len(tb.Rows))
+	}
+}
+
+func TestAblationSMPBcastFlatWins(t *testing.T) {
+	g := QuickGrid()
+	tb := AblationSMPBcast(g)
+	for _, row := range tb.Rows {
+		if row[1] > row[2] {
+			t.Errorf("size %v: flat (%v) slower than tree (%v)", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestAblationYieldHelps(t *testing.T) {
+	g := QuickGrid()
+	tb := AblationYield(g, Bcast)
+	helped := 0
+	for _, row := range tb.Rows {
+		if row[1] <= row[2] {
+			helped++
+		}
+	}
+	if helped == 0 {
+		t.Error("yield policy never helped")
+	}
+}
+
+func TestAblationChunksShape(t *testing.T) {
+	g := QuickGrid()
+	tb := AblationChunks(g)
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] <= 0 || row[2] <= 0 {
+			t.Errorf("chunk %vKB: non-positive times %v %v", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestAblationEagerIBMDegrades(t *testing.T) {
+	g := QuickGrid()
+	tb := AblationEager(g)
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if last[1] <= first[1] {
+		t.Errorf("IBM 2KB bcast did not degrade with P: %v -> %v", first[1], last[1])
+	}
+	// SRM stays fastest at scale.
+	if last[3] >= last[1] {
+		t.Errorf("SRM (%v) not faster than IBM (%v) at max P", last[3], last[1])
+	}
+}
+
+func TestAblationInterruptsShape(t *testing.T) {
+	g := QuickGrid()
+	tb := AblationInterrupts(g, Bcast)
+	if len(tb.Rows) != len(g.SmallSizes) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] <= 0 || row[2] <= 0 {
+			t.Errorf("size %v: non-positive times", row[0])
+		}
+	}
+}
+
+func TestTableXY(t *testing.T) {
+	tb := &Table{
+		Cols: []string{"x", "a", "b"},
+		Rows: [][]float64{{1, 10, 100}, {2, 20, 200}},
+	}
+	x, ys := tb.XY()
+	if len(x) != 2 || x[1] != 2 {
+		t.Fatalf("x = %v", x)
+	}
+	if len(ys) != 2 || ys[0][1] != 20 || ys[1][0] != 100 {
+		t.Fatalf("ys = %v", ys)
+	}
+}
+
+func TestExtensionQuick(t *testing.T) {
+	g := QuickGrid()
+	tb := Extension(g)
+	if len(tb.Rows) != 4 || len(tb.Cols) != 11 {
+		t.Fatalf("shape = %dx%d", len(tb.Rows), len(tb.Cols))
+	}
+	for _, row := range tb.Rows {
+		for i := 1; i < len(row); i++ {
+			if row[i] <= 0 {
+				t.Errorf("blk=%v col %d: non-positive time", row[0], i)
+			}
+		}
+		// Gather and scatter should beat the baseline broadly.
+		if row[1] >= row[2] {
+			t.Errorf("blk=%v: SRM gather (%v) not faster than IBM (%v)", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestAblationLateArrivalFlagsInsensitive(t *testing.T) {
+	g := QuickGrid()
+	tb := AblationLateArrival(g)
+	base := tb.Rows[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	// Flags: punctual-task completion unaffected by the straggler.
+	if last[1] > base[1]*1.05 {
+		t.Errorf("flag protocol degraded with lateness: %v -> %v", base[1], last[1])
+	}
+	// Barrier arbitration: degraded by roughly the full lateness.
+	if last[2] < base[2]+0.8*last[0] {
+		t.Errorf("barrier arbitration absorbed the straggler: %v -> %v at lateness %v",
+			base[2], last[2], last[0])
+	}
+}
+
+func TestAblationFifteenOfSixteenSRMUnaffected(t *testing.T) {
+	g := QuickGrid()
+	tb := AblationFifteenOfSixteen(g)
+	for _, row := range tb.Rows {
+		// The trimmed configuration must not slow SRM down (§2.1: the
+		// embedding stays optimal).
+		if row[3] > row[1]*1.02 {
+			t.Errorf("size %v: SRM slower with trimmed nodes: %v vs %v", row[0], row[3], row[1])
+		}
+	}
+}
+
+// TestCalibrationBands guards the cost-model calibration: on a mid-size
+// grid, SRM's improvement over IBM MPI must stay inside generous envelopes
+// around the paper's reported bands. A failure here means a change shifted
+// the reproduction, not just an implementation detail.
+func TestCalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	g := Grid{
+		TasksPerNode: 8,
+		Procs:        []int{16, 64},
+		Sizes:        []int{8, 2 << 10, 64 << 10, 1 << 20},
+		SmallSizes:   []int{8, 2 << 10},
+		Iters:        2,
+		LargeOnce:    256 << 10,
+	}
+	for _, band := range PaperBands() {
+		if band.Op == Barrier {
+			s := MeasureOp(g, srmcoll.SRM, Barrier, 64, 0, srmcoll.Variant{})
+			b := MeasureOp(g, srmcoll.IBMMPI, Barrier, 64, 0, srmcoll.Variant{})
+			if imp := 100 * (1 - s/b); imp < 60 {
+				t.Errorf("barrier improvement %0.1f%%, want >= 60%% (paper: over 73%%)", imp)
+			}
+			continue
+		}
+		for _, size := range g.Sizes {
+			for _, p := range g.Procs {
+				s := MeasureOp(g, srmcoll.SRM, band.Op, p, size, srmcoll.Variant{})
+				b := MeasureOp(g, srmcoll.IBMMPI, band.Op, p, size, srmcoll.Variant{})
+				imp := 100 * (1 - s/b)
+				if imp < 5 {
+					t.Errorf("%v size=%d P=%d: improvement %.1f%% — SRM advantage collapsed",
+						band.Op, size, p, imp)
+				}
+				if imp > 97 {
+					t.Errorf("%v size=%d P=%d: improvement %.1f%% — implausibly large",
+						band.Op, size, p, imp)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationDaemonsTrimHelps(t *testing.T) {
+	g := QuickGrid()
+	tb := AblationDaemons(g)
+	for _, row := range tb.Rows {
+		quiet, noisyFull, noisyTrim := row[1], row[2], row[3]
+		if noisyFull < quiet {
+			t.Errorf("size %v: daemons made the full config faster (%v < %v)",
+				row[0], noisyFull, quiet)
+		}
+		// The trimmed configuration absorbs the daemons.
+		if noisyTrim > quiet*1.10 {
+			t.Errorf("size %v: trimmed config (%v) should be within 10%% of quiet (%v)",
+				row[0], noisyTrim, quiet)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"fmt"
+
+	"srmcoll"
+)
+
+// Fig2 reproduces the structural claim of Figure 2: the data movement of
+// an 8-task single-node reduce — 4 shared-memory copies for SRM versus 7
+// messages (14 copies through shared memory) for message passing.
+func Fig2() *Table {
+	t := &Table{
+		ID:    "fig2",
+		Title: "8-task SMP reduce data movement: impl(0=srm,1=mpich), shm copies, messages, combines",
+		Cols:  []string{"impl", "shmCopies", "messages", "combines"},
+		Prec:  0,
+	}
+	for i, impl := range []srmcoll.Impl{srmcoll.SRM, srmcoll.MPICHMPI} {
+		cl, err := srmcoll.NewCluster(srmcoll.ColonySP(1, 8))
+		if err != nil {
+			panic(err)
+		}
+		res, err := cl.Run(impl, func(c *srmcoll.Comm) {
+			send := make([]byte, 8<<10)
+			var recv []byte
+			if c.Rank() == 0 {
+				recv = make([]byte, 8<<10)
+			}
+			c.Reduce(send, recv, srmcoll.Float64, srmcoll.Sum, 0)
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []float64{
+			float64(i),
+			float64(res.Stats.ShmCopies),
+			float64(res.Stats.MPISends),
+			float64(res.Stats.ReduceOps),
+		})
+	}
+	return t
+}
+
+// figNumber maps an operation to its absolute-performance figure number in
+// the paper (Figures 6-8) and its ratio figure (Figures 9-11).
+func figNumber(op Op) (abs, ratio int) {
+	switch op {
+	case Bcast:
+		return 6, 9
+	case Reduce:
+		return 7, 10
+	case Allreduce:
+		return 8, 11
+	}
+	panic("exp: barrier has no size sweep figure")
+}
+
+// FigAbsolute reproduces the left panel of Figures 6-8: SRM absolute
+// execution time versus message size, one column per processor count.
+func FigAbsolute(g Grid, op Op) *Table {
+	fig, _ := figNumber(op)
+	t := &Table{
+		ID:    fmt.Sprintf("fig%d-abs", fig),
+		Title: fmt.Sprintf("SRM %s time (us) vs message size", op),
+		Cols:  []string{"bytes"},
+		Prec:  1,
+		LogX:  true,
+		LogY:  true,
+	}
+	for _, p := range g.Procs {
+		t.Cols = append(t.Cols, fmt.Sprintf("P=%d", p))
+	}
+	for _, size := range g.Sizes {
+		row := []float64{float64(size)}
+		for _, p := range g.Procs {
+			row = append(row, MeasureOp(g, srmcoll.SRM, op, p, size, srmcoll.Variant{}))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// FigCompareSmall reproduces the right panel of Figures 6-8: SRM against
+// both MPI implementations for messages up to 64 KB at the largest tested
+// processor count.
+func FigCompareSmall(g Grid, op Op) *Table {
+	fig, _ := figNumber(op)
+	procs := g.Procs[len(g.Procs)-1]
+	t := &Table{
+		ID:    fmt.Sprintf("fig%d-cmp", fig),
+		Title: fmt.Sprintf("%s time (us) on %d CPUs, <=64KB sub-range", op, procs),
+		Cols:  []string{"bytes", "mpich", "ibm-mpi", "srm"},
+		Prec:  1,
+		LogX:  true,
+	}
+	for _, size := range g.SmallSizes {
+		t.Rows = append(t.Rows, []float64{
+			float64(size),
+			MeasureOp(g, srmcoll.MPICHMPI, op, procs, size, srmcoll.Variant{}),
+			MeasureOp(g, srmcoll.IBMMPI, op, procs, size, srmcoll.Variant{}),
+			MeasureOp(g, srmcoll.SRM, op, procs, size, srmcoll.Variant{}),
+		})
+	}
+	return t
+}
+
+// FigRatio reproduces Figures 9-11: SRM execution time as a percentage of
+// the baseline's (lower is better; below 100 means SRM is faster), one
+// column per processor count.
+func FigRatio(g Grid, op Op, base srmcoll.Impl) *Table {
+	_, fig := figNumber(op)
+	t := &Table{
+		ID:    fmt.Sprintf("fig%d-%s", fig, base),
+		Title: fmt.Sprintf("SRM %s time as %% of %s (lower is better)", op, base),
+		Cols:  []string{"bytes"},
+		Prec:  1,
+		LogX:  true,
+	}
+	for _, p := range g.Procs {
+		t.Cols = append(t.Cols, fmt.Sprintf("P=%d", p))
+	}
+	for _, size := range g.Sizes {
+		row := []float64{float64(size)}
+		for _, p := range g.Procs {
+			s := MeasureOp(g, srmcoll.SRM, op, p, size, srmcoll.Variant{})
+			b := MeasureOp(g, base, op, p, size, srmcoll.Variant{})
+			row = append(row, 100*s/b)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig12 reproduces the barrier scaling study: time versus processor count
+// for SRM and both MPI implementations.
+func Fig12(g Grid) *Table {
+	t := &Table{
+		ID:    "fig12",
+		Title: "barrier time (us) vs number of processors",
+		Cols:  []string{"procs", "srm", "ibm-mpi", "mpich"},
+		Prec:  1,
+	}
+	for _, p := range g.Procs {
+		t.Rows = append(t.Rows, []float64{
+			float64(p),
+			MeasureOp(g, srmcoll.SRM, Barrier, p, 0, srmcoll.Variant{}),
+			MeasureOp(g, srmcoll.IBMMPI, Barrier, p, 0, srmcoll.Variant{}),
+			MeasureOp(g, srmcoll.MPICHMPI, Barrier, p, 0, srmcoll.Variant{}),
+		})
+	}
+	return t
+}
+
+// PaperBand is the range of improvements the paper reports for one
+// operation against IBM MPI.
+type PaperBand struct {
+	Op       Op
+	Min, Max float64 // percent improvement over IBM MPI
+}
+
+// PaperBands returns the §1/§3 headline numbers: broadcast 27-84 %, reduce
+// 24-79 %, allreduce 30-73 % improvement, and barrier 73 % at 256
+// processors.
+func PaperBands() []PaperBand {
+	return []PaperBand{
+		{Bcast, 27, 84},
+		{Reduce, 24, 79},
+		{Allreduce, 30, 73},
+		{Barrier, 73, 73},
+	}
+}
+
+// Headline reproduces the paper's summary claims: the minimum and maximum
+// improvement of SRM over IBM MPI across the size/processor grid for each
+// operation (barrier: improvement at the largest processor count), next to
+// the paper's reported band.
+func Headline(g Grid) *Table {
+	t := &Table{
+		ID:    "headline",
+		Title: "SRM improvement over IBM MPI, measured vs paper (percent)",
+		Cols:  []string{"op", "measured-min", "measured-max", "paper-min", "paper-max"},
+		Prec:  1,
+	}
+	for _, band := range PaperBands() {
+		var lo, hi float64 = 1e18, -1e18
+		if band.Op == Barrier {
+			p := g.Procs[len(g.Procs)-1]
+			s := MeasureOp(g, srmcoll.SRM, Barrier, p, 0, srmcoll.Variant{})
+			b := MeasureOp(g, srmcoll.IBMMPI, Barrier, p, 0, srmcoll.Variant{})
+			lo = 100 * (1 - s/b)
+			hi = lo
+		} else {
+			for _, size := range g.Sizes {
+				for _, p := range g.Procs {
+					s := MeasureOp(g, srmcoll.SRM, band.Op, p, size, srmcoll.Variant{})
+					b := MeasureOp(g, srmcoll.IBMMPI, band.Op, p, size, srmcoll.Variant{})
+					imp := 100 * (1 - s/b)
+					if imp < lo {
+						lo = imp
+					}
+					if imp > hi {
+						hi = imp
+					}
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []float64{float64(band.Op), lo, hi, band.Min, band.Max})
+	}
+	return t
+}
+
+// HeadlineText renders Headline with operation names in the first column.
+func HeadlineText(t *Table) string {
+	out := fmt.Sprintf("# %s — %s\n", t.ID, t.Title)
+	out += fmt.Sprintf("%-10s  %12s  %12s  %9s  %9s\n",
+		"op", "measured-min", "measured-max", "paper-min", "paper-max")
+	for _, row := range t.Rows {
+		out += fmt.Sprintf("%-10s  %12.1f  %12.1f  %9.0f  %9.0f\n",
+			Op(int(row[0])), row[1], row[2], row[3], row[4])
+	}
+	return out
+}

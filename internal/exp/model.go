@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+
+	"srmcoll"
+	"srmcoll/internal/machine"
+	"srmcoll/internal/model"
+)
+
+// AblationModel (A6) compares the §5 analytical model's predictions with
+// the simulator for every operation, reporting the signed error percentage.
+func AblationModel(g Grid) *Table {
+	procs := g.Procs[len(g.Procs)-1]
+	cfg := machine.ColonySP(nodesFor(g, procs), g.TasksPerNode)
+	t := &Table{
+		ID:    "ablation-model",
+		Title: fmt.Sprintf("analytical model vs simulation on %d CPUs (§5 future work)", procs),
+		Cols:  []string{"bytes", "op", "predicted", "simulated", "err%"},
+		Prec:  1,
+	}
+	add := func(op Op, size int, predicted float64) {
+		simd := MeasureOp(g, srmcoll.SRM, op, procs, size, srmcoll.Variant{})
+		t.Rows = append(t.Rows, []float64{
+			float64(size), float64(op), predicted, simd, 100 * (predicted - simd) / simd,
+		})
+	}
+	add(Barrier, 0, model.Barrier(cfg))
+	for _, size := range g.Sizes {
+		add(Bcast, size, model.Bcast(cfg, size))
+		add(Reduce, size, model.Reduce(cfg, size))
+		add(Allreduce, size, model.Allreduce(cfg, size))
+	}
+	return t
+}
+
+// ModelText renders AblationModel with operation names.
+func ModelText(t *Table) string {
+	out := fmt.Sprintf("# %s — %s\n", t.ID, t.Title)
+	out += fmt.Sprintf("%9s  %-10s  %12s  %12s  %8s\n", "bytes", "op", "predicted", "simulated", "err%")
+	for _, row := range t.Rows {
+		out += fmt.Sprintf("%9.0f  %-10s  %12.1f  %12.1f  %+7.1f%%\n",
+			row[0], Op(int(row[1])), row[2], row[3], row[4])
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+// Package machine models the hardware of an SMP cluster: the node/task
+// topology, and a calibrated cost model for intra-node memory traffic and
+// the inter-node network. All protocol layers (internal/shm, internal/rma,
+// internal/mpi) charge their time through this package, so machine.Config
+// is the single place where a platform is described.
+//
+// Times are microseconds (sim.Time). The ColonySP preset approximates the
+// paper's testbed: an IBM SP with 16-way SMP nodes and the "Colony" switch.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
+)
+
+// Config describes a cluster and its timing parameters.
+type Config struct {
+	Nodes        int // number of SMP nodes
+	TasksPerNode int // tasks (MPI ranks) per node
+
+	// Shared-memory (intra-node) parameters.
+	MemLatency        sim.Time // fixed per-copy software+issue overhead
+	MemPerByte        sim.Time // inverse copy bandwidth, us/byte
+	MemBusConcurrency int      // concurrent copies that run at full speed
+	FlagLatency       sim.Time // store-to-observe latency of a shared flag
+	ReducePerByte     sim.Time // elementwise combine cost, us/byte
+	YieldWake         sim.Time // extra wake latency when spin loops yield
+
+	// Network (inter-node) parameters, LogGP-style.
+	NetLatency     sim.Time // one-way wire latency L
+	NetPerByte     sim.Time // per-byte injection cost G (inverse bandwidth)
+	NetPktOverhead sim.Time // per-packet injection overhead
+	SendOverhead   sim.Time // CPU overhead at the origin, o_s
+	RecvOverhead   sim.Time // CPU/dispatcher overhead at the target, o_r
+	InterruptCost  sim.Time // delivering into a task not inside an RMA call
+	StarvePenalty  sim.Time // extra delivery delay per non-yielding spinner set
+	AMHandlerCost  sim.Time // header-handler execution cost
+
+	// System daemons (§2.1, §3): each node runs periodic system daemons.
+	// When every CPU is occupied by tasks (TasksPerNode >= CPUsPerNode)
+	// the daemon steals a slice from whatever task is running; leaving one
+	// CPU free (the 15-of-16 configuration) absorbs them. DaemonSlice = 0
+	// disables the model (the default).
+	CPUsPerNode  int
+	DaemonPeriod sim.Time // interval between daemon activations per node
+	DaemonSlice  sim.Time // CPU time stolen per activation
+
+	// MPI point-to-point layer costs (baselines only).
+	MPIOverhead  sim.Time // software overhead per send/recv call
+	TagMatchBase sim.Time // fixed matching cost per arriving message
+	TagMatchScan sim.Time // additional cost per queue entry scanned
+	ShmPktSize   int      // intra-node p2p bounce-buffer (pipelining) size
+
+	// SRM protocol tuning (the paper's constants; ablation A4 sweeps them).
+	SRMBcastBufSize int  // shared broadcast buffer size and small/large switch (64 KB)
+	SRMSmallChunk   int  // pipeline chunk for 8-32 KB broadcasts (4 KB)
+	SRMPipelineMin  int  // lower bound of the chunked small-message range (8 KB)
+	SRMLargeChunk   int  // chunk for large-message pipelines (bcast/reduce)
+	SRMAllreduceRD  int  // recursive-doubling allreduce limit (16 KB)
+	SpinYield       bool // yield the CPU after bounded unsuccessful spins (§2.4)
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("machine: Nodes = %d, want >= 1", c.Nodes)
+	case c.TasksPerNode < 1:
+		return fmt.Errorf("machine: TasksPerNode = %d, want >= 1", c.TasksPerNode)
+	case c.MemPerByte <= 0 || c.NetPerByte <= 0:
+		return fmt.Errorf("machine: per-byte costs must be positive")
+	case c.MemBusConcurrency < 1:
+		return fmt.Errorf("machine: MemBusConcurrency = %d, want >= 1", c.MemBusConcurrency)
+	case c.SRMBcastBufSize < c.SRMSmallChunk || c.SRMSmallChunk < 1:
+		return fmt.Errorf("machine: SRM buffer sizes inconsistent")
+	case c.SRMLargeChunk < 1 || c.SRMAllreduceRD < 1:
+		return fmt.Errorf("machine: SRM chunk sizes must be positive")
+	}
+	return nil
+}
+
+// P returns the total task count.
+func (c Config) P() int { return c.Nodes * c.TasksPerNode }
+
+// ColonySP returns a configuration approximating the paper's IBM SP testbed
+// (16-way Nighthawk nodes, Colony switch, LAPI). Absolute values are
+// educated estimates for 2002-era hardware; EXPERIMENTS.md records how the
+// resulting ratios compare with the paper.
+func ColonySP(nodes, tasksPerNode int) Config {
+	return Config{
+		Nodes:        nodes,
+		TasksPerNode: tasksPerNode,
+
+		MemLatency:        0.4,
+		MemPerByte:        0.0020, // ~500 MB/s per-process copy bandwidth
+		MemBusConcurrency: 4,
+		FlagLatency:       0.35,
+		ReducePerByte:     0.0026,
+		YieldWake:         0.25,
+
+		NetLatency:     8.5,
+		NetPerByte:     0.0029, // ~345 MB/s link
+		NetPktOverhead: 0.6,
+		SendOverhead:   3.6,
+		RecvOverhead:   3.2,
+		InterruptCost:  24,
+		StarvePenalty:  14,
+		AMHandlerCost:  1.4,
+
+		CPUsPerNode:  16,
+		DaemonPeriod: 10000, // a 10 ms system tick
+		DaemonSlice:  0,     // noise off by default
+
+		MPIOverhead:  5.0,
+		TagMatchBase: 1.0,
+		TagMatchScan: 0.15,
+		ShmPktSize:   16 << 10,
+
+		SRMBcastBufSize: 64 << 10,
+		SRMSmallChunk:   4 << 10,
+		SRMPipelineMin:  8 << 10,
+		SRMLargeChunk:   64 << 10,
+		SRMAllreduceRD:  16 << 10,
+		SpinYield:       true,
+	}
+}
+
+// ViaCluster returns a commodity-cluster configuration (Giganet/VIA-class
+// interconnect, small SMP nodes) in the spirit of the barrier study the
+// paper extends. Used by examples; not part of the paper's evaluation.
+func ViaCluster(nodes, tasksPerNode int) Config {
+	c := ColonySP(nodes, tasksPerNode)
+	c.NetLatency = 14
+	c.NetPerByte = 0.0095 // ~105 MB/s
+	c.SendOverhead = 5
+	c.RecvOverhead = 5
+	c.InterruptCost = 30
+	c.MemPerByte = 0.0013 // faster commodity memory
+	c.MemBusConcurrency = 2
+	return c
+}
+
+// Node is the mutable per-node simulation state.
+type Node struct {
+	ID           int
+	activeCopies int      // copies in flight through this node's memory bus
+	nicFreeAt    sim.Time // when the adapter's injection port frees up
+	noYieldSpin  int      // tasks spinning without yielding (starves LAPI threads)
+}
+
+// Machine binds a Config to a simulation environment plus run statistics.
+type Machine struct {
+	Env   *sim.Env
+	Cfg   Config
+	Stats *trace.Stats
+	nodes []*Node
+}
+
+// New creates a machine. It panics on an invalid configuration, since every
+// entry point validates configs before reaching here.
+func New(env *sim.Env, cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{Env: env, Cfg: cfg, Stats: &trace.Stats{}}
+	m.nodes = make([]*Node, cfg.Nodes)
+	for i := range m.nodes {
+		m.nodes[i] = &Node{ID: i}
+	}
+	return m
+}
+
+// Node returns the state of node id.
+func (m *Machine) Node(id int) *Node { return m.nodes[id] }
+
+// P returns the total task count.
+func (m *Machine) P() int { return m.Cfg.P() }
+
+// NodeOf returns the node hosting the given global rank (block distribution:
+// ranks 0..p-1 on node 0, and so on, matching the paper's task layout).
+func (m *Machine) NodeOf(rank int) int { return rank / m.Cfg.TasksPerNode }
+
+// LocalRank returns the rank's index within its node.
+func (m *Machine) LocalRank(rank int) int { return rank % m.Cfg.TasksPerNode }
+
+// RankOf returns the global rank of the local task on a node.
+func (m *Machine) RankOf(node, local int) int { return node*m.Cfg.TasksPerNode + local }
+
+// SameNode reports whether two ranks share an SMP node.
+func (m *Machine) SameNode(a, b int) bool { return m.NodeOf(a) == m.NodeOf(b) }
+
+// daemonsActive reports whether daemon noise applies: the model is on and
+// the node's CPUs are fully subscribed by tasks.
+func (m *Machine) daemonsActive() bool {
+	return m.Cfg.DaemonSlice > 0 && m.Cfg.CPUsPerNode > 0 &&
+		m.Cfg.TasksPerNode >= m.Cfg.CPUsPerNode
+}
+
+// daemonPhase staggers the daemon activations across nodes; the half-period
+// offset keeps the grid off t=0.
+func (m *Machine) daemonPhase(node int) sim.Time {
+	return m.Cfg.DaemonPeriod * (sim.Time(node) + 0.5) / sim.Time(m.Cfg.Nodes)
+}
+
+// DaemonExtra returns the CPU time stolen by daemon activations during a
+// busy interval of length d starting now on the node (deterministic:
+// activations run at phase + k*period).
+func (m *Machine) DaemonExtra(node int, d sim.Time) sim.Time {
+	if !m.daemonsActive() || d <= 0 {
+		return 0
+	}
+	period := m.Cfg.DaemonPeriod
+	start := m.Env.Now() - m.daemonPhase(node)
+	// Activations k with start <= k*period < start+d.
+	crossings := math.Ceil((start+d)/period) - math.Ceil(start/period)
+	return sim.Time(crossings) * m.Cfg.DaemonSlice
+}
+
+// DaemonHit returns the residual daemon occupancy at this instant on the
+// node — the delay a point event (a flag wake, a delivery) suffers when it
+// lands inside a daemon activation window.
+func (m *Machine) DaemonHit(node int) sim.Time {
+	if !m.daemonsActive() {
+		return 0
+	}
+	period := m.Cfg.DaemonPeriod
+	offset := m.Env.Now() - m.daemonPhase(node)
+	into := offset - math.Floor(offset/period)*period
+	if into < m.Cfg.DaemonSlice {
+		return m.Cfg.DaemonSlice - into
+	}
+	return 0
+}
+
+// copyFactor is the contention multiplier for a copy starting now on node n.
+// It is a snapshot: active copies above the bus concurrency stretch the new
+// copy proportionally (see DESIGN.md, simulation-fidelity notes).
+func (m *Machine) copyFactor(n *Node) float64 {
+	active := n.activeCopies + 1
+	if active <= m.Cfg.MemBusConcurrency {
+		return 1
+	}
+	return float64(active) / float64(m.Cfg.MemBusConcurrency)
+}
+
+// CopyTime returns the uncontended duration of an n-byte intra-node copy.
+func (m *Machine) CopyTime(n int) sim.Time {
+	return m.Cfg.MemLatency + sim.Time(n)*m.Cfg.MemPerByte
+}
+
+// Memcpy copies src into dst within node id, charging contended copy time
+// to the calling process and recording the copy in Stats.
+// len(dst) must equal len(src).
+func (m *Machine) Memcpy(p *sim.Proc, node int, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("machine: Memcpy length mismatch %d != %d", len(dst), len(src)))
+	}
+	nd := m.nodes[node]
+	d := m.CopyTime(len(src)) * m.copyFactor(nd)
+	d += m.DaemonExtra(node, d)
+	nd.activeCopies++
+	p.Sleep(d)
+	nd.activeCopies--
+	copy(dst, src)
+	m.Stats.AddCopy(len(src))
+}
+
+// ChargeCopy charges copy time for n bytes on a node without moving data;
+// used where the data movement itself is performed by a lower layer.
+func (m *Machine) ChargeCopy(p *sim.Proc, node, n int) {
+	nd := m.nodes[node]
+	d := m.CopyTime(n) * m.copyFactor(nd)
+	d += m.DaemonExtra(node, d)
+	nd.activeCopies++
+	p.Sleep(d)
+	nd.activeCopies--
+}
+
+// CombineTime returns the cost of an elementwise reduction over n bytes.
+func (m *Machine) CombineTime(n int) sim.Time {
+	return m.Cfg.MemLatency + sim.Time(n)*m.Cfg.ReducePerByte
+}
+
+// NetInject reserves the node's adapter injection port for an n-byte
+// message starting no earlier than now, and returns the time the message
+// has fully left the adapter (injectEnd) and the time it arrives at the
+// remote adapter (arrival). The caller is not blocked: injection proceeds
+// asynchronously (DMA), only the port timeline is advanced.
+func (m *Machine) NetInject(node, n int) (injectEnd, arrival sim.Time) {
+	nd := m.nodes[node]
+	start := m.Env.Now()
+	if nd.nicFreeAt > start {
+		start = nd.nicFreeAt
+	}
+	injectEnd = start + m.Cfg.NetPktOverhead + sim.Time(n)*m.Cfg.NetPerByte
+	nd.nicFreeAt = injectEnd
+	return injectEnd, injectEnd + m.Cfg.NetLatency
+}
+
+// SpinEnter records that a task on node id entered a spin-wait loop.
+// Non-yielding spinners starve the communication service threads; the RMA
+// layer consults SpinPenalty when delivering to the node.
+func (m *Machine) SpinEnter(node int) {
+	if !m.Cfg.SpinYield {
+		m.nodes[node].noYieldSpin++
+	}
+}
+
+// SpinExit undoes SpinEnter.
+func (m *Machine) SpinExit(node int) {
+	if !m.Cfg.SpinYield {
+		m.nodes[node].noYieldSpin--
+	}
+}
+
+// SpinPenalty returns the extra delivery latency on a node caused by
+// non-yielding spin loops (zero when the yield policy is on), recording a
+// starvation event when it applies.
+func (m *Machine) SpinPenalty(node int) sim.Time {
+	if m.nodes[node].noYieldSpin > 0 {
+		m.Stats.Starves++
+		return m.Cfg.StarvePenalty
+	}
+	return 0
+}
+
+// WakeLatency is the latency from a flag store to the waiter observing it;
+// yielding spin loops give up their time slice and wake slightly later.
+func (m *Machine) WakeLatency() sim.Time {
+	if m.Cfg.SpinYield {
+		return m.Cfg.FlagLatency + m.Cfg.YieldWake
+	}
+	return m.Cfg.FlagLatency
+}

@@ -1,0 +1,357 @@
+package machine
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"srmcoll/internal/sim"
+)
+
+func TestColonySPValid(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		cfg := ColonySP(nodes, 16)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("ColonySP(%d,16): %v", nodes, err)
+		}
+		if cfg.P() != nodes*16 {
+			t.Errorf("P() = %d, want %d", cfg.P(), nodes*16)
+		}
+	}
+}
+
+func TestViaClusterValid(t *testing.T) {
+	cfg := ViaCluster(4, 4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NetPerByte <= ColonySP(4, 4).NetPerByte {
+		t.Error("VIA cluster should have a slower network than the SP")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }},
+		{"zero tasks", func(c *Config) { c.TasksPerNode = 0 }},
+		{"zero mem bw", func(c *Config) { c.MemPerByte = 0 }},
+		{"zero net bw", func(c *Config) { c.NetPerByte = 0 }},
+		{"zero bus conc", func(c *Config) { c.MemBusConcurrency = 0 }},
+		{"chunk > buffer", func(c *Config) { c.SRMSmallChunk = c.SRMBcastBufSize * 2 }},
+		{"zero large chunk", func(c *Config) { c.SRMLargeChunk = 0 }},
+		{"zero rd limit", func(c *Config) { c.SRMAllreduceRD = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := ColonySP(2, 4)
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}
+
+func TestTopologyMapping(t *testing.T) {
+	m := New(sim.NewEnv(), ColonySP(4, 16))
+	if got := m.NodeOf(0); got != 0 {
+		t.Errorf("NodeOf(0) = %d", got)
+	}
+	if got := m.NodeOf(15); got != 0 {
+		t.Errorf("NodeOf(15) = %d", got)
+	}
+	if got := m.NodeOf(16); got != 1 {
+		t.Errorf("NodeOf(16) = %d", got)
+	}
+	if got := m.NodeOf(63); got != 3 {
+		t.Errorf("NodeOf(63) = %d", got)
+	}
+	if got := m.LocalRank(35); got != 3 {
+		t.Errorf("LocalRank(35) = %d", got)
+	}
+	if got := m.RankOf(2, 5); got != 37 {
+		t.Errorf("RankOf(2,5) = %d", got)
+	}
+	if !m.SameNode(17, 31) || m.SameNode(15, 16) {
+		t.Error("SameNode wrong")
+	}
+}
+
+// Property: RankOf and (NodeOf, LocalRank) are inverses for every rank.
+func TestPropTopologyRoundTrip(t *testing.T) {
+	f := func(nodes, tpn, r uint8) bool {
+		n, p := int(nodes%16)+1, int(tpn%16)+1
+		m := New(sim.NewEnv(), ColonySP(n, p))
+		rank := int(r) % (n * p)
+		return m.RankOf(m.NodeOf(rank), m.LocalRank(rank)) == rank
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyTimeLinear(t *testing.T) {
+	m := New(sim.NewEnv(), ColonySP(1, 2))
+	small, big := m.CopyTime(1024), m.CopyTime(2048)
+	wantDelta := 1024 * m.Cfg.MemPerByte
+	if math.Abs((big-small)-wantDelta) > 1e-9 {
+		t.Errorf("CopyTime slope = %v, want %v", big-small, wantDelta)
+	}
+	if m.CopyTime(0) != m.Cfg.MemLatency {
+		t.Errorf("CopyTime(0) = %v, want latency %v", m.CopyTime(0), m.Cfg.MemLatency)
+	}
+}
+
+func TestMemcpyMovesDataAndCharges(t *testing.T) {
+	env := sim.NewEnv()
+	m := New(env, ColonySP(1, 2))
+	src := []byte("hello, smp node")
+	dst := make([]byte, len(src))
+	var took sim.Time
+	env.Spawn("t", func(p *sim.Proc) {
+		start := p.Now()
+		m.Memcpy(p, 0, dst, src)
+		took = p.Now() - start
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("dst = %q, want %q", dst, src)
+	}
+	if want := m.CopyTime(len(src)); math.Abs(took-want) > 1e-9 {
+		t.Errorf("uncontended copy took %v, want %v", took, want)
+	}
+	if m.Stats.ShmCopies != 1 || m.Stats.ShmBytes != int64(len(src)) {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+}
+
+func TestMemcpyLengthMismatchPanics(t *testing.T) {
+	env := sim.NewEnv()
+	m := New(env, ColonySP(1, 2))
+	env.Spawn("t", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch did not panic")
+			}
+		}()
+		m.Memcpy(p, 0, make([]byte, 3), make([]byte, 4))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcpyContention(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := ColonySP(1, 16)
+	cfg.MemBusConcurrency = 2
+	m := New(env, cfg)
+	const n = 8 << 10
+	src := make([]byte, n)
+	var last sim.Time
+	// 6 concurrent copies with concurrency 2 must take longer than serial/3.
+	for i := 0; i < 6; i++ {
+		env.Spawn("c", func(p *sim.Proc) {
+			dst := make([]byte, n)
+			m.Memcpy(p, 0, dst, src)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	uncontended := m.CopyTime(n)
+	if last <= uncontended {
+		t.Errorf("contended batch finished in %v, want > uncontended %v", last, uncontended)
+	}
+	// And the factor snapshot bounds it: worst factor is 6/2 = 3.
+	if last > 3*uncontended+1e-6 {
+		t.Errorf("contended batch %v exceeds worst-case 3x bound %v", last, 3*uncontended)
+	}
+}
+
+func TestNetInjectSerializesPerNode(t *testing.T) {
+	env := sim.NewEnv()
+	m := New(env, ColonySP(2, 1))
+	const n = 100 << 10
+	_, arr1 := m.NetInject(0, n)
+	_, arr2 := m.NetInject(0, n)
+	wire := m.Cfg.NetPktOverhead + sim.Time(n)*m.Cfg.NetPerByte
+	if math.Abs(arr2-arr1-wire) > 1e-9 {
+		t.Errorf("second injection arrives %v after first, want %v (serialized)", arr2-arr1, wire)
+	}
+	// A different node's adapter is independent.
+	_, arr3 := m.NetInject(1, n)
+	if math.Abs(arr3-arr1) > 1e-9 {
+		t.Errorf("other node's injection arrives at %v, want %v", arr3, arr1)
+	}
+}
+
+func TestNetInjectLatency(t *testing.T) {
+	env := sim.NewEnv()
+	m := New(env, ColonySP(2, 1))
+	end, arr := m.NetInject(0, 0)
+	if math.Abs(arr-end-m.Cfg.NetLatency) > 1e-9 {
+		t.Errorf("arrival - injectEnd = %v, want NetLatency %v", arr-end, m.Cfg.NetLatency)
+	}
+}
+
+func TestSpinPenaltyOnlyWithoutYield(t *testing.T) {
+	envY := sim.NewEnv()
+	mY := New(envY, ColonySP(1, 4)) // SpinYield: true
+	mY.SpinEnter(0)
+	if got := mY.SpinPenalty(0); got != 0 {
+		t.Errorf("penalty with yield = %v, want 0", got)
+	}
+	mY.SpinExit(0)
+
+	cfg := ColonySP(1, 4)
+	cfg.SpinYield = false
+	mN := New(sim.NewEnv(), cfg)
+	if got := mN.SpinPenalty(0); got != 0 {
+		t.Errorf("penalty with no spinners = %v, want 0", got)
+	}
+	mN.SpinEnter(0)
+	if got := mN.SpinPenalty(0); got != cfg.StarvePenalty {
+		t.Errorf("penalty = %v, want %v", got, cfg.StarvePenalty)
+	}
+	if mN.Stats.Starves != 1 {
+		t.Errorf("starves = %d, want 1", mN.Stats.Starves)
+	}
+	mN.SpinExit(0)
+	if got := mN.SpinPenalty(0); got != 0 {
+		t.Errorf("penalty after exit = %v, want 0", got)
+	}
+}
+
+func TestWakeLatencyYieldCost(t *testing.T) {
+	cfg := ColonySP(1, 4)
+	my := New(sim.NewEnv(), cfg)
+	cfg2 := cfg
+	cfg2.SpinYield = false
+	mn := New(sim.NewEnv(), cfg2)
+	if my.WakeLatency() <= mn.WakeLatency() {
+		t.Error("yielding spin should have larger wake latency than pure spin")
+	}
+}
+
+func TestChargeCopyAdvancesTime(t *testing.T) {
+	env := sim.NewEnv()
+	m := New(env, ColonySP(1, 2))
+	env.Spawn("t", func(p *sim.Proc) {
+		m.ChargeCopy(p, 0, 4096)
+		if want := m.CopyTime(4096); math.Abs(p.Now()-want) > 1e-9 {
+			t.Errorf("ChargeCopy advanced %v, want %v", p.Now(), want)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(sim.NewEnv(), Config{})
+}
+
+func TestNetInjectIdleGapResets(t *testing.T) {
+	env := sim.NewEnv()
+	m := New(env, ColonySP(2, 1))
+	m.NetInject(0, 1<<20) // long injection
+	var arr2 sim.Time
+	env.At(100000, func() { _, arr2 = m.NetInject(0, 0) }) // long after idle
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 100000 + m.Cfg.NetPktOverhead + m.Cfg.NetLatency
+	if math.Abs(arr2-want) > 1e-6 {
+		t.Errorf("post-idle injection arrives at %v, want %v", arr2, want)
+	}
+}
+
+func TestDaemonModelOffByDefault(t *testing.T) {
+	env := sim.NewEnv()
+	m := New(env, ColonySP(2, 16))
+	if m.DaemonExtra(0, 1e6) != 0 || m.DaemonHit(0) != 0 {
+		t.Fatal("daemon noise should be off by default")
+	}
+}
+
+func TestDaemonExtraCountsCrossings(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := ColonySP(1, 16)
+	cfg.DaemonSlice = 100
+	m := New(env, cfg)
+	// An interval spanning 3 full periods hits 3 activations.
+	if got := m.DaemonExtra(0, 3*cfg.DaemonPeriod); got != 300 {
+		t.Fatalf("DaemonExtra over 3 periods = %v, want 300", got)
+	}
+	// A tiny interval clear of the activation grid hits none.
+	if got := m.DaemonExtra(0, 10); got != 0 {
+		t.Fatalf("DaemonExtra over 10us = %v, want 0", got)
+	}
+}
+
+func TestDaemonFreeCPUAbsorbs(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := ColonySP(1, 15) // one CPU left for the daemons (§2.1)
+	cfg.DaemonSlice = 100
+	m := New(env, cfg)
+	if got := m.DaemonExtra(0, 5*cfg.DaemonPeriod); got != 0 {
+		t.Fatalf("15-of-16 should absorb daemons, got %v", got)
+	}
+}
+
+func TestDaemonHitInsideWindow(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := ColonySP(1, 16)
+	cfg.DaemonSlice = 100
+	m := New(env, cfg)
+	var hit sim.Time
+	phase := cfg.DaemonPeriod / 2                     // single node: activations at period*(k+0.5)
+	env.At(phase+40, func() { hit = m.DaemonHit(0) }) // 40us into a window
+	env.At(phase+500, func() {
+		if m.DaemonHit(0) != 0 {
+			t.Error("hit outside window should be 0")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hit != 60 {
+		t.Fatalf("DaemonHit 40us into a 100us window = %v, want 60", hit)
+	}
+}
+
+func TestDaemonNoiseSlowsFullSubscription(t *testing.T) {
+	run := func(tpn int) sim.Time {
+		env := sim.NewEnv()
+		cfg := ColonySP(1, tpn)
+		cfg.DaemonSlice = 150
+		m := New(env, cfg)
+		var took sim.Time
+		env.Spawn("c", func(p *sim.Proc) {
+			src := make([]byte, 4<<20)
+			m.Memcpy(p, 0, make([]byte, len(src)), src)
+			took = p.Now()
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return took
+	}
+	full, trimmed := run(16), run(15)
+	if full <= trimmed {
+		t.Fatalf("fully subscribed node (%v) should be slower than 15-of-16 (%v)", full, trimmed)
+	}
+}

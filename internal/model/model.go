@@ -1,0 +1,190 @@
+// Package model is the analytical performance model of the SRM collectives
+// that the paper's §5 lists as future work: closed-form LogGP-style
+// estimates of each operation's time from the machine parameters (SMP node
+// size, intra-SMP memory bandwidth, inter-node network performance), usable
+// to reason about parameter changes and to tune the pipeline constants.
+//
+// The model deliberately stays first-order — it captures tree depths,
+// pipeline bottlenecks and contention factors, not every protocol detail —
+// and internal/exp's model experiment reports its error against the
+// simulator.
+package model
+
+import (
+	"srmcoll/internal/machine"
+	"srmcoll/internal/sim"
+	"srmcoll/internal/tree"
+)
+
+// put returns the end-to-end latency of an n-byte put into a polling
+// target.
+func put(cfg machine.Config, n int) sim.Time {
+	return cfg.SendOverhead + cfg.NetPktOverhead + sim.Time(n)*cfg.NetPerByte +
+		cfg.NetLatency + cfg.RecvOverhead
+}
+
+// wire returns the injection (bandwidth) term of an n-byte put.
+func wire(cfg machine.Config, n int) sim.Time {
+	return cfg.SendOverhead + cfg.NetPktOverhead + sim.Time(n)*cfg.NetPerByte
+}
+
+// wake returns the flag store-to-observe latency.
+func wake(cfg machine.Config) sim.Time {
+	if cfg.SpinYield {
+		return cfg.FlagLatency + cfg.YieldWake
+	}
+	return cfg.FlagLatency
+}
+
+// cp returns an uncontended n-byte copy time.
+func cp(cfg machine.Config, n int) sim.Time {
+	return cfg.MemLatency + sim.Time(n)*cfg.MemPerByte
+}
+
+// comb returns an n-byte elementwise combine time.
+func comb(cfg machine.Config, n int) sim.Time {
+	return cfg.MemLatency + sim.Time(n)*cfg.ReducePerByte
+}
+
+// busFactor is the memory-bus contention multiplier when all non-master
+// tasks of a node copy simultaneously (the flat SMP broadcast).
+func busFactor(cfg machine.Config) float64 {
+	readers := cfg.TasksPerNode - 1
+	if readers <= cfg.MemBusConcurrency {
+		return 1
+	}
+	return float64(readers) / float64(cfg.MemBusConcurrency)
+}
+
+// interRounds is the one-port round count of the inter-node binomial tree.
+func interRounds(cfg machine.Config) int { return tree.Log2Ceil(cfg.Nodes) }
+
+// Barrier predicts the SRM barrier time: an intra-node check-in, the
+// dissemination rounds between masters, and the release wave.
+func Barrier(cfg machine.Config) sim.Time {
+	t := 2 * wake(cfg)
+	t += sim.Time(interRounds(cfg)) * put(cfg, 0)
+	return t
+}
+
+// smpBcast predicts the flat two-buffer SMP broadcast of m bytes in chunks
+// of c: the master's copy-ins pipeline against the contended fan-out reads.
+func smpBcast(cfg machine.Config, m, c int, staged bool) sim.Time {
+	if cfg.TasksPerNode == 1 || m == 0 {
+		return 0
+	}
+	f := busFactor(cfg)
+	nch := (m + c - 1) / c
+	if nch < 1 {
+		nch = 1
+	}
+	last := m - (nch-1)*c
+	out := wake(cfg) + f*cp(cfg, last)
+	if !staged {
+		return out // readers pull straight from the shared receive buffer
+	}
+	bottleneck := cp(cfg, c) // the master's next copy-in overlaps the reads
+	if fb := f * cp(cfg, c); fb > bottleneck {
+		bottleneck = fb
+	}
+	return cp(cfg, c) + sim.Time(nch-1)*bottleneck + out
+}
+
+// Bcast predicts the SRM broadcast of m bytes: the inter-node binomial
+// pipeline plus the SMP distribution of the final chunk.
+func Bcast(cfg machine.Config, m int) sim.Time {
+	c := chunkFor(cfg, m)
+	nch := (m + c - 1) / c
+	if nch < 1 {
+		nch = 1
+	}
+	rounds := interRounds(cfg)
+	// First chunk reaches the deepest node after the binomial rounds; the
+	// remaining chunks stream behind it at the bottleneck stage rate. The
+	// root injects each chunk once per child, so its adapter is the wire
+	// bottleneck.
+	deg := rounds // the binomial root degree equals the round count
+	staged := m > cfg.SRMBcastBufSize
+	bottleneck := sim.Time(deg) * wire(cfg, c)
+	if node := smpBcast(cfg, c, c, staged); node > bottleneck {
+		bottleneck = node
+	}
+	if cfg.Nodes == 1 {
+		return smpBcast(cfg, m, c, true)
+	}
+	// The SMP distribution overlaps the inter-node pipeline; only the last
+	// chunk's node-local drain remains after the final arrival.
+	return sim.Time(rounds)*put(cfg, c) + sim.Time(nch-1)*bottleneck +
+		smpBcast(cfg, c, c, staged)
+}
+
+// chunkFor mirrors the SRM broadcast protocol switch points.
+func chunkFor(cfg machine.Config, m int) int {
+	switch {
+	case m > cfg.SRMBcastBufSize:
+		return cfg.SRMLargeChunk
+	case m > cfg.SRMPipelineMin:
+		return cfg.SRMSmallChunk
+	case m > 0:
+		return m
+	}
+	return 1
+}
+
+// smpReduce predicts the intra-node binomial reduce of one c-byte chunk:
+// the leaf copies (contended) plus a combine per tree level.
+func smpReduce(cfg machine.Config, c int) sim.Time {
+	if cfg.TasksPerNode == 1 {
+		return 0
+	}
+	levels := tree.Log2Ceil(cfg.TasksPerNode)
+	f := busFactor(cfg)
+	return f*cp(cfg, c) + sim.Time(levels)*(wake(cfg)+comb(cfg, c))
+}
+
+// Reduce predicts the SRM reduce of m bytes: the SMP reduce pipelined with
+// the inter-node combining tree.
+func Reduce(cfg machine.Config, m int) sim.Time {
+	c := m
+	if c > cfg.SRMLargeChunk {
+		c = cfg.SRMLargeChunk
+	}
+	if c < 1 {
+		c = 1
+	}
+	nch := (m + c - 1) / c
+	if nch < 1 {
+		nch = 1
+	}
+	rounds := interRounds(cfg)
+	perHop := put(cfg, c) + comb(cfg, c)
+	// Steady state: the busiest master per chunk combines its local
+	// children (log tpn combines) and its inter-node children (up to
+	// rounds combines), then forwards; the distributed leaf copies and
+	// lower-level combines pipeline across tasks.
+	intra := tree.Log2Ceil(cfg.TasksPerNode)
+	bottleneck := sim.Time(intra+rounds)*comb(cfg, c) + wire(cfg, c)
+	t := smpReduce(cfg, c) + sim.Time(rounds)*perHop + sim.Time(nch-1)*bottleneck
+	if cfg.Nodes == 1 {
+		t = smpReduce(cfg, c) + sim.Time(nch-1)*(sim.Time(intra)*comb(cfg, c)+cp(cfg, c))
+	}
+	return t
+}
+
+// Allreduce predicts the SRM allreduce of m bytes: recursive doubling for
+// small messages, the four-stage reduce/broadcast pipeline above.
+func Allreduce(cfg machine.Config, m int) sim.Time {
+	if m <= cfg.SRMAllreduceRD {
+		rounds := tree.Log2Ceil(cfg.Nodes)
+		t := smpReduce(cfg, m)
+		t += sim.Time(rounds) * (put(cfg, m) + comb(cfg, m))
+		t += smpBcast(cfg, m, max(m, 1), true)
+		return t
+	}
+	// The broadcast pipeline drafts behind the reduce pipeline; only its
+	// tree latency and the node-local distribution of the tail remain.
+	// Mirror the implementation's adaptive chunking (>= 4 chunks in flight).
+	c := min(cfg.SRMLargeChunk, max((m+3)/4, cfg.SRMSmallChunk))
+	return Reduce(cfg, m) + sim.Time(interRounds(cfg))*put(cfg, c) +
+		smpBcast(cfg, c, c, true)
+}

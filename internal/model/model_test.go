@@ -1,0 +1,116 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"srmcoll/internal/machine"
+)
+
+func cfg(nodes, tpn int) machine.Config { return machine.ColonySP(nodes, tpn) }
+
+func TestBarrierGrowsWithNodes(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		got := Barrier(cfg(n, 16))
+		if got <= prev {
+			t.Errorf("Barrier(%d nodes) = %v, want > %v", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBcastMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for _, m := range []int{8, 512, 8 << 10, 32 << 10, 128 << 10, 1 << 20, 8 << 20} {
+		got := Bcast(cfg(8, 16), m)
+		if got <= prev {
+			t.Errorf("Bcast(%d) = %v, want > %v", m, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestReduceMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for _, m := range []int{8, 4 << 10, 64 << 10, 1 << 20} {
+		got := Reduce(cfg(8, 16), m)
+		if got <= prev {
+			t.Errorf("Reduce(%d) = %v, want > %v", m, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestAllreduceAtLeastReduce(t *testing.T) {
+	for _, m := range []int{8, 8 << 10, 128 << 10, 2 << 20} {
+		ar, r := Allreduce(cfg(8, 16), m), Reduce(cfg(8, 16), m)
+		if ar < r {
+			t.Errorf("Allreduce(%d) = %v < Reduce %v", m, ar, r)
+		}
+	}
+}
+
+func TestSingleNodeNoNetworkTerms(t *testing.T) {
+	c := cfg(1, 16)
+	if Barrier(c) >= put(c, 0) {
+		t.Errorf("single-node barrier %v includes a network round %v", Barrier(c), put(c, 0))
+	}
+	if Bcast(c, 4096) > 4*smpBcast(c, 4096, 4096, true) {
+		t.Errorf("single-node bcast dominated by non-SMP terms: %v", Bcast(c, 4096))
+	}
+}
+
+func TestBandwidthAsymptote(t *testing.T) {
+	// For very large broadcasts the prediction approaches a bandwidth
+	// regime: doubling the size roughly doubles the time.
+	c := cfg(8, 16)
+	t4, t8 := Bcast(c, 4<<20), Bcast(c, 8<<20)
+	if ratio := t8 / t4; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("8MB/4MB time ratio = %v, want ~2 (bandwidth regime)", ratio)
+	}
+}
+
+func TestBusFactor(t *testing.T) {
+	c := cfg(1, 16)
+	if f := busFactor(c); f != 15.0/float64(c.MemBusConcurrency) {
+		t.Errorf("busFactor 16-way = %v", f)
+	}
+	c2 := cfg(1, 2)
+	if f := busFactor(c2); f != 1 {
+		t.Errorf("busFactor 2-way = %v, want 1", f)
+	}
+}
+
+func TestChunkForSwitchPoints(t *testing.T) {
+	c := cfg(4, 16)
+	if chunkFor(c, 4096) != 4096 {
+		t.Error("small message should be a single chunk")
+	}
+	if chunkFor(c, 16<<10) != c.SRMSmallChunk {
+		t.Error("8-64KB should use the small pipeline chunk")
+	}
+	if chunkFor(c, 1<<20) != c.SRMLargeChunk {
+		t.Error("large message should use the large chunk")
+	}
+	if chunkFor(c, 0) != 1 {
+		t.Error("zero-byte chunk must stay positive")
+	}
+}
+
+// Property: all predictions are positive and finite for any valid shape.
+func TestPropPredictionsPositive(t *testing.T) {
+	f := func(nRaw, tRaw uint8, mRaw uint32) bool {
+		c := cfg(int(nRaw)%16+1, int(tRaw)%16+1)
+		m := int(mRaw) % (8 << 20)
+		for _, v := range []float64{Barrier(c), Bcast(c, m), Reduce(c, m), Allreduce(c, m)} {
+			if !(v >= 0) || v > 1e9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

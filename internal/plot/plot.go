@@ -1,0 +1,212 @@
+// Package plot renders simple terminal line charts for the benchmark
+// harness — enough to eyeball the paper's log-log performance curves and
+// log-linear ratio plots without leaving the shell.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	Y    []float64 // aligned with the shared X vector; NaN skips a point
+}
+
+// Options configures a chart.
+type Options struct {
+	Title  string
+	Width  int // plot-area columns (default 64)
+	Height int // plot-area rows (default 16)
+	LogX   bool
+	LogY   bool
+	YUnit  string
+}
+
+// markers label the series in drawing order.
+const markers = "*o+x@#%&"
+
+// Render draws the series over the shared x vector as an ASCII chart with
+// axes, tick labels and a legend. Non-positive values on a log axis are
+// skipped. It returns "" when there is nothing to draw.
+func Render(x []float64, series []Series, o Options) string {
+	if len(x) == 0 || len(series) == 0 {
+		return ""
+	}
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	tx := transformer(o.LogX)
+	ty := transformer(o.LogY)
+
+	// Bounds over drawable points.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	usable := false
+	for _, s := range series {
+		for i, y := range s.Y {
+			if i >= len(x) {
+				break
+			}
+			xv, okx := tx(x[i])
+			yv, oky := ty(y)
+			if !okx || !oky {
+				continue
+			}
+			usable = true
+			xmin, xmax = math.Min(xmin, xv), math.Max(xmax, xv)
+			ymin, ymax = math.Min(ymin, yv), math.Max(ymax, yv)
+		}
+	}
+	if !usable {
+		return ""
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, o.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", o.Width))
+	}
+	col := func(v float64) int {
+		c := int(math.Round((v - xmin) / (xmax - xmin) * float64(o.Width-1)))
+		return clamp(c, 0, o.Width-1)
+	}
+	row := func(v float64) int {
+		r := int(math.Round((v - ymin) / (ymax - ymin) * float64(o.Height-1)))
+		return clamp(o.Height-1-r, 0, o.Height-1)
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		prevC, prevR := -1, -1
+		for i, y := range s.Y {
+			if i >= len(x) {
+				break
+			}
+			xv, okx := tx(x[i])
+			yv, oky := ty(y)
+			if !okx || !oky {
+				prevC = -1
+				continue
+			}
+			c, r := col(xv), row(yv)
+			if prevC >= 0 {
+				drawLine(grid, prevC, prevR, c, r, '.')
+			}
+			grid[r][c] = mark
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if o.Title != "" {
+		fmt.Fprintf(&b, "%s\n", o.Title)
+	}
+	yTop, yBot := untransform(o.LogY, ymax), untransform(o.LogY, ymin)
+	for r := range grid {
+		label := strings.Repeat(" ", 10)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10s", compact(yTop))
+		case o.Height - 1:
+			label = fmt.Sprintf("%10s", compact(yBot))
+		case o.Height / 2:
+			label = fmt.Sprintf("%10s", compact(untransform(o.LogY, (ymin+ymax)/2)))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", o.Width))
+	xl, xr := untransform(o.LogX, xmin), untransform(o.LogX, xmax)
+	fmt.Fprintf(&b, "%s  %-*s%s", strings.Repeat(" ", 10), o.Width-len(compact(xr)),
+		compact(xl), compact(xr))
+	if o.YUnit != "" {
+		fmt.Fprintf(&b, "   [y: %s]", o.YUnit)
+	}
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "%12c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// transformer maps a value onto the (possibly log) axis; the bool reports
+// whether the value is drawable.
+func transformer(log bool) func(float64) (float64, bool) {
+	return func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		if !log {
+			return v, true
+		}
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+}
+
+func untransform(log bool, v float64) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// compact formats an axis value tersely (1.5k, 2M, 0.25).
+func compact(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", v/1e6))
+	case av >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fk", v/1e3))
+	case av >= 10 || av == 0 || av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return trimZero(fmt.Sprintf("%.2f", v))
+	}
+}
+
+func trimZero(s string) string {
+	return strings.Replace(s, ".0", "", 1)
+}
+
+// drawLine connects two grid cells with a sparse dotted segment, leaving
+// endpoints for the series markers.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, ch byte) {
+	steps := max(abs(c1-c0), abs(r1-r0))
+	for i := 1; i < steps; i++ {
+		c := c0 + (c1-c0)*i/steps
+		r := r0 + (r1-r0)*i/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

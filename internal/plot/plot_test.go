@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render([]float64{1, 10, 100},
+		[]Series{{Name: "srm", Y: []float64{1, 2, 3}}},
+		Options{Title: "demo", LogX: true})
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "srm") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("missing series marker:\n%s", out)
+	}
+	if !strings.Contains(out, "+-") {
+		t.Fatalf("missing x axis:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if Render(nil, nil, Options{}) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+	if Render([]float64{1}, []Series{{Name: "a", Y: []float64{-1}}}, Options{LogY: true}) != "" {
+		t.Fatal("all-undrawable input should render nothing")
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	out := Render([]float64{1, 2, 3},
+		[]Series{
+			{Name: "a", Y: []float64{1, 1, 1}},
+			{Name: "b", Y: []float64{10, 10, 10}},
+			{Name: "c", Y: []float64{20, 20, 20}},
+		}, Options{})
+	for _, m := range []string{"*", "o", "+"} {
+		if !strings.Contains(out, m) {
+			t.Fatalf("marker %q missing:\n%s", m, out)
+		}
+	}
+}
+
+func TestRenderSkipsNaNAndNonPositiveOnLog(t *testing.T) {
+	out := Render([]float64{1, 2, 3, 4},
+		[]Series{{Name: "a", Y: []float64{1, math.NaN(), 0, 100}}},
+		Options{LogY: true})
+	if out == "" {
+		t.Fatal("drawable points exist; should render")
+	}
+}
+
+func TestMonotoneSeriesTopRightOnLinear(t *testing.T) {
+	// The largest value must land on the top row of the grid.
+	out := Render([]float64{0, 1}, []Series{{Name: "a", Y: []float64{0, 10}}},
+		Options{Width: 20, Height: 5})
+	lines := strings.Split(out, "\n")
+	top := lines[0]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max point not on the top row:\n%s", out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(top), "10") {
+		t.Fatalf("top tick label wrong:\n%s", out)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.25:    "0.25",
+		5:       "5",
+		42:      "42",
+		1500:    "1.5k",
+		8388608: "8.4M",
+	}
+	for v, want := range cases {
+		if got := compact(v); got != want {
+			t.Errorf("compact(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Property: render never panics and the grid height matches Options for
+// arbitrary finite data.
+func TestPropRenderRobust(t *testing.T) {
+	f := func(ys []float64, logx, logy bool) bool {
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		out := Render(xs, []Series{{Name: "s", Y: ys}}, Options{LogX: logx, LogY: logy, Height: 8})
+		if out == "" {
+			return true // nothing drawable is fine
+		}
+		rows := 0
+		for _, ln := range strings.Split(out, "\n") {
+			if strings.Contains(ln, " |") {
+				rows++
+			}
+		}
+		return rows == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

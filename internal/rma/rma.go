@@ -1,0 +1,351 @@
+// Package rma models a LAPI-like one-sided communication layer: non-blocking
+// put/get, active messages, and origin/target/completion counters with
+// LAPI_Waitcntr semantics (§2.3 of the paper). Delivery follows the paper's
+// interrupt and progress rules:
+//
+//   - if the target task is inside an RMA call, the dispatcher polls and the
+//     message is delivered after the receive overhead;
+//   - otherwise, with interrupts enabled, delivery costs an interrupt (plus a
+//     starvation penalty when tasks on the node spin without yielding);
+//   - with interrupts disabled, delivery is deferred until the target task's
+//     next RMA call ("the put operation would not be able to complete
+//     without implicit cooperation of the destination task").
+package rma
+
+import (
+	"srmcoll/internal/machine"
+	"srmcoll/internal/sim"
+)
+
+// Counter is a LAPI-style completion counter. Waitcntr blocks until the
+// counter reaches a value and then subtracts it, so counters can carry
+// repeated round-trip flow control (§2.4 broadcast buffer management).
+type Counter struct {
+	env  *sim.Env
+	val  int
+	cond *sim.Cond
+}
+
+// NewCounter creates a counter with the given initial value.
+func NewCounter(env *sim.Env, initial int) *Counter {
+	return &Counter{env: env, val: initial, cond: env.NewCond()}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int { return c.val }
+
+// Incr adds n and wakes waiters. The RMA layer calls it on delivery;
+// protocols may also use it directly for locally produced events.
+func (c *Counter) Incr(n int) {
+	c.val += n
+	c.cond.Broadcast()
+}
+
+// waitGE blocks until the counter is at least v.
+func (c *Counter) waitGE(p *sim.Proc, v int) {
+	for c.val < v {
+		c.cond.Wait(p)
+	}
+}
+
+// WaitValue blocks until the counter reaches v and subtracts v, like
+// Endpoint.Waitcntr but without touching any endpoint's dispatcher state.
+// Helper processes that share a task's endpoint (e.g. the broadcast side
+// of the fused allreduce pipeline) use it so the main process's RMA-call
+// bookkeeping stays consistent.
+func (c *Counter) WaitValue(p *sim.Proc, v int) {
+	c.waitGE(p, v)
+	c.val -= v
+}
+
+// Endpoint is one task's attachment to the RMA layer.
+type Endpoint struct {
+	dom        *Domain
+	Rank       int
+	Node       int
+	inCall     bool
+	interrupts bool
+	pending    []func() // deferred deliveries awaiting a progress opportunity
+}
+
+// Domain is the RMA communication domain: one endpoint per task.
+type Domain struct {
+	m   *machine.Machine
+	eps []*Endpoint
+}
+
+// NewDomain attaches every task of the machine to the RMA layer.
+// Interrupts start enabled, as on LAPI.
+func NewDomain(m *machine.Machine) *Domain {
+	d := &Domain{m: m, eps: make([]*Endpoint, m.P())}
+	for r := range d.eps {
+		d.eps[r] = &Endpoint{dom: d, Rank: r, Node: m.NodeOf(r), interrupts: true}
+	}
+	return d
+}
+
+// Endpoint returns the endpoint of a global rank.
+func (d *Domain) Endpoint(rank int) *Endpoint { return d.eps[rank] }
+
+// Machine returns the underlying machine model.
+func (d *Domain) Machine() *machine.Machine { return d.m }
+
+// NewCounter creates a counter in the domain's environment.
+func (d *Domain) NewCounter(initial int) *Counter { return NewCounter(d.m.Env, initial) }
+
+// SetInterrupts switches the endpoint's interrupt mode. Enabling interrupts
+// releases any deferred deliveries (each paying the interrupt cost).
+func (ep *Endpoint) SetInterrupts(on bool) {
+	ep.interrupts = on
+	if on && len(ep.pending) > 0 {
+		m := ep.dom.m
+		for _, fn := range ep.pending {
+			m.Stats.Interrupts++
+			m.Env.After(m.Cfg.InterruptCost+m.SpinPenalty(ep.Node), fn)
+		}
+		ep.pending = nil
+	}
+}
+
+// Interrupts reports the endpoint's interrupt mode.
+func (ep *Endpoint) Interrupts() bool { return ep.interrupts }
+
+// drainPending services deferred deliveries from inside an RMA call; the
+// calling task's CPU pays the receive overhead for each.
+func (ep *Endpoint) drainPending(p *sim.Proc) {
+	for len(ep.pending) > 0 {
+		fn := ep.pending[0]
+		ep.pending = ep.pending[1:]
+		p.Sleep(ep.dom.m.Cfg.RecvOverhead)
+		fn()
+	}
+}
+
+// Waitcntr blocks until the counter reaches v and subtracts v, LAPI-style.
+// While waiting, the task counts as "inside an RMA call": the dispatcher
+// polls, so arriving messages are delivered without interrupts.
+func (ep *Endpoint) Waitcntr(p *sim.Proc, c *Counter, v int) {
+	ep.drainPending(p)
+	ep.inCall = true
+	c.waitGE(p, v)
+	c.val -= v
+	ep.inCall = false
+}
+
+// Probe gives the dispatcher one progress opportunity without blocking
+// (the equivalent of calling into LAPI without waiting).
+func (ep *Endpoint) Probe(p *sim.Proc) { ep.drainPending(p) }
+
+// deliver routes an arrived message according to the interrupt/progress
+// rules. fn performs the actual data movement and counter updates.
+func (ep *Endpoint) deliver(fn func()) {
+	m := ep.dom.m
+	switch {
+	case ep.inCall:
+		// Even with the dispatcher polling, the service threads need CPU
+		// cycles that non-yielding spin loops elsewhere on the node hold
+		// (§2.4) — hence the starvation penalty here as well.
+		m.Env.After(m.Cfg.RecvOverhead+m.SpinPenalty(ep.Node), fn)
+	case ep.interrupts:
+		m.Stats.Interrupts++
+		m.Env.After(m.Cfg.InterruptCost+m.SpinPenalty(ep.Node), fn)
+	default:
+		m.Stats.Deferrals++
+		ep.pending = append(ep.pending, fn)
+	}
+}
+
+// Put issues a non-blocking put of src into dst at the target task. It
+// returns after the origin CPU overhead; the transfer proceeds
+// asynchronously. Counters may be nil:
+//
+//	origin  - incremented when the origin buffer is reusable (injection done)
+//	target  - incremented at the target when the data has landed
+//	compl   - incremented at the origin when the transaction completed
+//
+// len(dst) must equal len(src); a zero-byte put carries only counter
+// updates, the paper's flow-control acknowledgement.
+func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, tgt, compl *Counter) {
+	if len(dst) != len(src) {
+		panic("rma: Put length mismatch")
+	}
+	m := ep.dom.m
+	m.Stats.AddPut(len(src))
+	p.Sleep(m.Cfg.SendOverhead)
+
+	if target.Node == ep.Node {
+		// Loopback through shared memory: one copy, no wire.
+		m.Memcpy(p, ep.Node, dst, src)
+		if origin != nil {
+			origin.Incr(1)
+		}
+		if tgt != nil {
+			tgt.Incr(1)
+		}
+		if compl != nil {
+			compl.Incr(1)
+		}
+		return
+	}
+
+	// The adapter reads the origin buffer at injection; snapshot the payload
+	// now so callers that reuse the buffer after the origin counter fires
+	// stay correct (the snapshot itself is bookkeeping, not a charged copy).
+	var snap []byte
+	if len(src) > 0 {
+		snap = append(snap, src...)
+	}
+	injectEnd, arrival := m.NetInject(ep.Node, len(src))
+	if origin != nil {
+		m.Env.At(injectEnd, func() { origin.Incr(1) })
+	}
+	m.Env.At(arrival, func() {
+		target.deliver(func() {
+			copy(dst, snap)
+			if tgt != nil {
+				tgt.Incr(1)
+			}
+			if compl != nil {
+				// Completion is acknowledged back to the origin over the wire.
+				m.Env.After(m.Cfg.NetLatency, func() { compl.Incr(1) })
+			}
+		})
+	})
+}
+
+// PutZero sends a zero-byte put that only increments the target counter —
+// the flow-control ack of §2.4.
+func (ep *Endpoint) PutZero(p *sim.Proc, target *Endpoint, tgt *Counter) {
+	ep.Put(p, target, nil, nil, nil, tgt, nil)
+}
+
+// AM sends an active message: handler runs at the target on arrival (after
+// the header-handler cost), following the same delivery rules as Put. The
+// payload is passed to the handler by reference; handlers must copy what
+// they keep.
+func (ep *Endpoint) AM(p *sim.Proc, target *Endpoint, payload []byte, handler func([]byte)) {
+	m := ep.dom.m
+	m.Stats.ActiveMsgs++
+	p.Sleep(m.Cfg.SendOverhead)
+
+	if target.Node == ep.Node {
+		p.Sleep(m.Cfg.AMHandlerCost)
+		handler(payload)
+		return
+	}
+	_, arrival := m.NetInject(ep.Node, len(payload))
+	m.Env.At(arrival, func() {
+		target.deliver(func() {
+			m.Env.After(m.Cfg.AMHandlerCost, func() { handler(payload) })
+		})
+	})
+}
+
+// Get issues a non-blocking get: src at the target is fetched into dst at
+// the origin; compl (at the origin) is incremented when the data has
+// landed. The request is serviced at the target under the usual delivery
+// rules, then the reply is injected from the target's adapter.
+func (ep *Endpoint) Get(p *sim.Proc, target *Endpoint, dst, src []byte, compl *Counter) {
+	if len(dst) != len(src) {
+		panic("rma: Get length mismatch")
+	}
+	m := ep.dom.m
+	m.Stats.AddGet(len(src))
+	p.Sleep(m.Cfg.SendOverhead)
+
+	if target.Node == ep.Node {
+		m.Memcpy(p, ep.Node, dst, src)
+		if compl != nil {
+			compl.Incr(1)
+		}
+		return
+	}
+
+	_, reqArrival := m.NetInject(ep.Node, 0)
+	m.Env.At(reqArrival, func() {
+		target.deliver(func() {
+			_, replyArrival := m.NetInject(target.Node, len(src))
+			m.Env.At(replyArrival, func() {
+				copy(dst, src)
+				if compl != nil {
+					compl.Incr(1)
+				}
+			})
+		})
+	})
+}
+
+// GetBlocking fetches src at the target into dst and waits for completion.
+func (ep *Endpoint) GetBlocking(p *sim.Proc, target *Endpoint, dst, src []byte) {
+	c := ep.dom.NewCounter(0)
+	ep.Get(p, target, dst, src, c)
+	ep.Waitcntr(p, c, 1)
+}
+
+// RmwOp selects a LAPI_Rmw-style atomic operation.
+type RmwOp int
+
+const (
+	FetchAndAdd RmwOp = iota
+	Swap
+	CompareAndSwap // applies only when the current value equals cmp
+)
+
+// Word is a remotely accessible 64-bit word, the target of Rmw operations.
+// It lives at one task's endpoint; the dispatcher there applies updates
+// atomically in arrival order.
+type Word struct {
+	Owner *Endpoint
+	val   int64
+}
+
+// NewWord allocates an RMW word at the endpoint, initialized to v.
+func (ep *Endpoint) NewWord(v int64) *Word { return &Word{Owner: ep, val: v} }
+
+// Value returns the current contents (for the owner's local inspection).
+func (w *Word) Value() int64 { return w.val }
+
+// Rmw performs an atomic read-modify-write on the remote word (§2.3 lists
+// atomic read-modify-write among LAPI's RMA capabilities). The previous
+// value is returned once the round trip completes; the calling process
+// blocks for it. op semantics: FetchAndAdd adds operand; Swap stores
+// operand; CompareAndSwap stores operand only if the value equals cmp.
+func (ep *Endpoint) Rmw(p *sim.Proc, w *Word, op RmwOp, operand, cmp int64) int64 {
+	m := ep.dom.m
+	var prev int64
+	apply := func() {
+		prev = w.val
+		switch op {
+		case FetchAndAdd:
+			w.val += operand
+		case Swap:
+			w.val = operand
+		case CompareAndSwap:
+			if w.val == cmp {
+				w.val = operand
+			}
+		default:
+			panic("rma: unknown RmwOp")
+		}
+	}
+	p.Sleep(m.Cfg.SendOverhead)
+	if w.Owner.Node == ep.Node {
+		// Loopback: the update is a local atomic.
+		apply()
+		return prev
+	}
+	done := ep.dom.NewCounter(0)
+	_, reqArrival := m.NetInject(ep.Node, headerWord)
+	m.Env.At(reqArrival, func() {
+		w.Owner.deliver(func() {
+			apply()
+			_, replyArrival := m.NetInject(w.Owner.Node, headerWord)
+			m.Env.At(replyArrival, func() { done.Incr(1) })
+		})
+	})
+	ep.Waitcntr(p, done, 1)
+	return prev
+}
+
+// headerWord is the wire size of an RMW request or reply.
+const headerWord = 16

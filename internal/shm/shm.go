@@ -1,0 +1,143 @@
+// Package shm models the intra-node shared-memory domain of an SMP node:
+// byte segments that all tasks of a node can address, and synchronization
+// flags (one per cache line, as in the paper §2.2) with the spin-with-yield
+// policy of §2.4. Data movement is real — segments are byte slices and
+// copies actually move bytes — while time is charged through the machine
+// cost model, including memory-bus contention.
+package shm
+
+import (
+	"fmt"
+
+	"srmcoll/internal/machine"
+	"srmcoll/internal/sim"
+)
+
+// Flag is a synchronization word in shared memory, assumed to occupy its
+// own cache line. Setting it is an ordinary store; waiters observe the new
+// value after the machine's wake latency (slightly higher when the spin
+// loop yields its time slice, see machine.WakeLatency).
+type Flag struct {
+	m    *machine.Machine
+	node int
+	val  int
+	cond *sim.Cond
+}
+
+// NewFlag creates a flag in node's shared memory, initialized to zero.
+func NewFlag(m *machine.Machine, node int) *Flag {
+	return &Flag{m: m, node: node, cond: m.Env.NewCond()}
+}
+
+// Load returns the current value without waiting.
+func (f *Flag) Load() int { return f.val }
+
+// Set stores v. The store itself is free for the setter; spinning waiters
+// observe it after the wake latency.
+func (f *Flag) Set(v int) {
+	f.val = v
+	f.m.Env.After(f.m.WakeLatency(), f.cond.Broadcast)
+}
+
+// WaitUntil spins until pred(value) holds. While spinning the task is
+// counted as a (possibly non-yielding) spinner on its node, which the RMA
+// layer consults for delivery starvation.
+func (f *Flag) WaitUntil(p *sim.Proc, pred func(int) bool) {
+	if pred(f.val) {
+		return
+	}
+	f.m.SpinEnter(f.node)
+	for !pred(f.val) {
+		f.cond.Wait(p)
+	}
+	f.m.SpinExit(f.node)
+}
+
+// WaitFor spins until the flag equals v.
+func (f *Flag) WaitFor(p *sim.Proc, v int) {
+	f.WaitUntil(p, func(x int) bool { return x == v })
+}
+
+// FlagSet is one flag per local task, as used by the SMP barrier and
+// broadcast (§2.2): "each flag is located on a different cache line".
+type FlagSet struct {
+	flags []*Flag
+}
+
+// NewFlagSet creates n zero flags on the node.
+func NewFlagSet(m *machine.Machine, node, n int) *FlagSet {
+	fs := &FlagSet{flags: make([]*Flag, n)}
+	for i := range fs.flags {
+		fs.flags[i] = NewFlag(m, node)
+	}
+	return fs
+}
+
+// Len returns the number of flags.
+func (fs *FlagSet) Len() int { return len(fs.flags) }
+
+// Flag returns the i-th flag.
+func (fs *FlagSet) Flag(i int) *Flag { return fs.flags[i] }
+
+// SetAll stores v into every flag.
+func (fs *FlagSet) SetAll(v int) {
+	for _, f := range fs.flags {
+		f.Set(v)
+	}
+}
+
+// WaitAll spins until every flag except those listed in skip equals v.
+// The master uses it to wait for all other tasks to check in.
+func (fs *FlagSet) WaitAll(p *sim.Proc, v int, skip ...int) {
+	skipped := make(map[int]bool, len(skip))
+	for _, i := range skip {
+		skipped[i] = true
+	}
+	for i, f := range fs.flags {
+		if skipped[i] {
+			continue
+		}
+		f.WaitFor(p, v)
+	}
+}
+
+// Segment is a byte buffer in a node's shared memory.
+type Segment struct {
+	m    *machine.Machine
+	node int
+	buf  []byte
+}
+
+// NewSegment allocates a size-byte segment on the node.
+func NewSegment(m *machine.Machine, node, size int) *Segment {
+	return &Segment{m: m, node: node, buf: make([]byte, size)}
+}
+
+// Node returns the hosting node.
+func (s *Segment) Node() int { return s.node }
+
+// Len returns the segment size.
+func (s *Segment) Len() int { return len(s.buf) }
+
+// Bytes exposes the backing storage. Remote memory access (put) targets
+// shared segments through this view; intra-node users should prefer
+// CopyIn/CopyOut so copy time is charged.
+func (s *Segment) Bytes() []byte { return s.buf }
+
+// Slice returns the sub-range [off, off+n) of the segment.
+func (s *Segment) Slice(off, n int) []byte {
+	if off < 0 || n < 0 || off+n > len(s.buf) {
+		panic(fmt.Sprintf("shm: slice [%d,%d) out of segment of %d bytes", off, off+n, len(s.buf)))
+	}
+	return s.buf[off : off+n]
+}
+
+// CopyIn copies src into the segment at off, charging contended copy time.
+func (s *Segment) CopyIn(p *sim.Proc, off int, src []byte) {
+	s.m.Memcpy(p, s.node, s.Slice(off, len(src)), src)
+}
+
+// CopyOut copies the segment range starting at off into dst.
+func (s *Segment) CopyOut(p *sim.Proc, dst []byte, off int) {
+	s.m.Memcpy(p, s.node, dst, s.Slice(off, len(dst)))
+}

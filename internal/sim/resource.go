@@ -1,0 +1,67 @@
+package sim
+
+// Resource is a counted resource with FIFO admission, used to model
+// serialized hardware such as a NIC injection port or a DMA engine.
+// Capacity tokens are available; Acquire blocks while none are free and
+// grants strictly in arrival order.
+type Resource struct {
+	env   *Env
+	cap   int
+	inUse int
+	queue []*Proc
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func (e *Env) NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: e, cap: capacity}
+}
+
+// InUse reports the number of currently held tokens.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued reports the number of processes waiting to acquire.
+func (r *Resource) Queued() int { return len(r.queue) }
+
+// Acquire takes one token, blocking the process FIFO until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap && len(r.queue) == 0 {
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.parkBlocked()
+}
+
+// Release returns one token, admitting the longest waiter if any.
+// The admitted process resumes holding the token.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without Acquire")
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.env.unblock(next)
+		return // token transfers to next
+	}
+	r.inUse--
+}
+
+// Use runs fn while holding one token.
+func (r *Resource) Use(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	fn()
+}
+
+// Hold acquires the resource for a fixed duration: it takes a token,
+// sleeps d, and releases. This models occupying serialized hardware for a
+// known service time.
+func (r *Resource) Hold(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}

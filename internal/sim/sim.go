@@ -1,0 +1,280 @@
+// Package sim implements a small deterministic discrete-event simulation
+// (DES) engine. Simulated entities are cooperative processes backed by
+// goroutines: exactly one process runs at a time, handing control back to
+// the scheduler whenever it blocks (Sleep, WaitEvent, ...). Because of this
+// strict alternation, simulation state needs no locking and every run is
+// fully deterministic: events at equal timestamps fire in schedule order.
+//
+// Time is a float64 in microseconds by convention of this repository.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in (or duration of) virtual time, in microseconds.
+type Time = float64
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// The zero value is not usable; call NewEnv.
+type Env struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	live    int            // spawned processes that have not finished
+	parked  map[*Proc]bool // processes blocked with no scheduled wake-up
+	yield   chan struct{}  // running process -> scheduler handoff
+	cur     *Proc
+	stopped bool
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		parked: make(map[*Proc]bool),
+		yield:  make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// item is one scheduled occurrence: either a callback or a process wake-up.
+type item struct {
+	t   Time
+	seq uint64
+	fn  func()
+	p   *Proc
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() (v any) { old := *h; n := len(old); v = old[n-1]; *h = old[:n-1]; return }
+func (e *Env) push(it *item)      { it.seq = e.seq; e.seq++; heap.Push(&e.queue, it) }
+func (e *Env) schedule(t Time, f func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.push(&item{t: t, fn: f})
+}
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (e *Env) At(t Time, fn func()) { e.schedule(t, fn) }
+
+// After schedules fn to run d from now.
+func (e *Env) After(d Time, fn func()) { e.schedule(e.now+d, fn) }
+
+// Proc is a simulated process. Methods on Proc must only be called from the
+// process's own goroutine (i.e. inside the function passed to Spawn).
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a process that will start running fn at the current virtual
+// time (after already-scheduled events at this timestamp).
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume // wait for first scheduling
+		fn(p)
+		p.done = true
+		e.live--
+		e.yield <- struct{}{}
+	}()
+	e.push(&item{t: e.now, p: p})
+	return p
+}
+
+// wake transfers control to p and blocks until p parks or finishes.
+func (e *Env) wake(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.cur = prev
+}
+
+// park suspends the calling process until the scheduler resumes it.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d virtual time (negative d counts as zero).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.push(&item{t: p.env.now + d, p: p})
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting other
+// already-scheduled work at this timestamp run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Park blocks the process indefinitely; something else must hold a
+// reference and wake it via an Event or Cond. Used by synchronization
+// primitives in this package.
+func (p *Proc) parkBlocked() {
+	p.env.parked[p] = true
+	p.park()
+}
+
+func (e *Env) unblock(p *Proc) {
+	if !e.parked[p] {
+		panic("sim: unblock of process that is not parked: " + p.name)
+	}
+	delete(e.parked, p)
+	e.push(&item{t: e.now, p: p})
+}
+
+// Event is a one-shot occurrence processes can wait on. After Trigger,
+// waiting is a no-op. The zero value is not usable; use Env.NewEvent.
+type Event struct {
+	env     *Env
+	done    bool
+	waiters []*Proc
+}
+
+// NewEvent returns an untriggered event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Done reports whether the event has been triggered.
+func (ev *Event) Done() bool { return ev.done }
+
+// Trigger fires the event at the current virtual time, waking all waiters.
+// Triggering an already-done event is a no-op.
+func (ev *Event) Trigger() {
+	if ev.done {
+		return
+	}
+	ev.done = true
+	for _, p := range ev.waiters {
+		ev.env.unblock(p)
+	}
+	ev.waiters = nil
+}
+
+// TriggerAfter schedules the event to fire d from now.
+func (ev *Event) TriggerAfter(d Time) { ev.env.After(d, ev.Trigger) }
+
+// Wait blocks the process until the event has been triggered.
+func (p *Proc) Wait(ev *Event) {
+	if ev.done {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.parkBlocked()
+}
+
+// WaitAll blocks until every event has been triggered.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// Cond is a broadcast-style condition: Wait blocks until the next Broadcast.
+// Unlike Event it can be signalled repeatedly.
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to the environment.
+func (e *Env) NewCond() *Cond { return &Cond{env: e} }
+
+// Wait blocks the process until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.parkBlocked()
+}
+
+// Broadcast wakes every currently waiting process at the current time.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.env.unblock(p)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// WaitUntil blocks the process until pred() holds, re-checking after every
+// Broadcast of c. It evaluates pred immediately first.
+func (c *Cond) WaitUntil(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// DeadlockError is returned by Run when processes remain blocked after the
+// event queue drains.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.3f: %d blocked: %s",
+		d.Time, len(d.Blocked), strings.Join(d.Blocked, ", "))
+}
+
+// Run executes events until the queue is empty. If live processes remain
+// blocked at that point, it returns a *DeadlockError naming them.
+func (e *Env) Run() error { return e.RunUntil(-1) }
+
+// RunUntil executes events with timestamps <= limit (limit < 0 means no
+// limit). It returns a *DeadlockError if the queue drains while processes
+// remain blocked and no limit stopped the run early.
+func (e *Env) RunUntil(limit Time) error {
+	for e.queue.Len() > 0 {
+		it := e.queue[0]
+		if limit >= 0 && it.t > limit {
+			return nil
+		}
+		heap.Pop(&e.queue)
+		e.now = it.t
+		if it.fn != nil {
+			it.fn()
+			continue
+		}
+		e.wake(it.p)
+	}
+	if e.live > 0 {
+		names := make([]string, 0, len(e.parked))
+		for p := range e.parked {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return &DeadlockError{Time: e.now, Blocked: names}
+	}
+	return nil
+}

@@ -1,0 +1,480 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvStartsAtZero(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(5)
+		p.Sleep(2.5)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 7.5 {
+		t.Fatalf("time after sleeps = %v, want 7.5", at)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(-3)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallbackOrdering(t *testing.T) {
+	e := NewEnv()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("callback order = %v", got)
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEnv()
+	var got []string
+	for _, n := range []string{"a", "b", "c", "d"} {
+		n := n
+		e.At(7, func() { got = append(got, n) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[a b c d]" {
+		t.Fatalf("same-time order = %v, want schedule order", got)
+	}
+}
+
+func TestAtInThePastClampsToNow(t *testing.T) {
+	e := NewEnv()
+	fired := Time(-1)
+	e.At(10, func() {
+		e.At(2, func() { fired = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Fatalf("past callback fired at %v, want clamped to 10", fired)
+	}
+}
+
+func TestSpawnRunsAtCurrentTime(t *testing.T) {
+	e := NewEnv()
+	var start Time
+	e.At(4, func() {
+		e.Spawn("late", func(p *Proc) { start = p.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if start != 4 {
+		t.Fatalf("spawned proc started at %v, want 4", start)
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Wait(ev)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.At(9, ev.Trigger)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != 9 {
+			t.Fatalf("waiter woke at %v, want 9", w)
+		}
+	}
+}
+
+func TestWaitOnDoneEventReturnsImmediately(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	ev.Trigger()
+	if !ev.Done() {
+		t.Fatal("event not done after Trigger")
+	}
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(1)
+		p.Wait(ev)
+		if p.Now() != 1 {
+			t.Errorf("wait on done event advanced time to %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleTriggerIsNoop(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	ev.Trigger()
+	ev.Trigger() // must not panic
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriggerAfter(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		ev.TriggerAfter(12)
+		p.Wait(ev)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 12 {
+		t.Fatalf("woke at %v, want 12", at)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEnv()
+	a, b := e.NewEvent(), e.NewEvent()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.WaitAll(a, b)
+		at = p.Now()
+	})
+	e.At(5, a.Trigger)
+	e.At(3, b.Trigger)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Fatalf("WaitAll finished at %v, want 5 (max of triggers)", at)
+	}
+}
+
+func TestCondBroadcastRepeats(t *testing.T) {
+	e := NewEnv()
+	c := e.NewCond()
+	count := 0
+	e.Spawn("w", func(p *Proc) {
+		c.Wait(p)
+		count++
+		c.Wait(p)
+		count++
+	})
+	e.At(1, c.Broadcast)
+	e.At(2, c.Broadcast)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("woke %d times, want 2", count)
+	}
+}
+
+func TestCondWaitUntil(t *testing.T) {
+	e := NewEnv()
+	c := e.NewCond()
+	x := 0
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		c.WaitUntil(p, func() bool { return x >= 3 })
+		at = p.Now()
+	})
+	for i := 1; i <= 5; i++ {
+		i := i
+		e.At(Time(i), func() { x = i; c.Broadcast() })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3 {
+		t.Fatalf("predicate satisfied at %v, want 3", at)
+	}
+}
+
+func TestCondWaitUntilImmediate(t *testing.T) {
+	e := NewEnv()
+	c := e.NewCond()
+	e.Spawn("w", func(p *Proc) {
+		c.WaitUntil(p, func() bool { return true })
+		if p.Now() != 0 {
+			t.Errorf("immediate WaitUntil advanced time to %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	e.Spawn("stuck-b", func(p *Proc) { p.Wait(ev) })
+	e.Spawn("stuck-a", func(p *Proc) { p.Wait(ev) })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 2 || de.Blocked[0] != "stuck-a" || de.Blocked[1] != "stuck-b" {
+		t.Fatalf("blocked = %v, want sorted [stuck-a stuck-b]", de.Blocked)
+	}
+}
+
+func TestNoDeadlockWhenAllFinish(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	e.Spawn("w", func(p *Proc) { p.Wait(ev) })
+	e.Spawn("t", func(p *Proc) { p.Sleep(1); ev.Trigger() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run() = %v, want nil", err)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := NewEnv()
+	var fired []Time
+	e.At(1, func() { fired = append(fired, 1) })
+	e.At(10, func() { fired = append(fired, 10) })
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || e.Now() != 1 {
+		t.Fatalf("fired=%v now=%v; want only t=1 fired", fired, e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("after full Run fired=%v", fired)
+	}
+}
+
+func TestYieldLetsSameTimeWorkRun(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) { order = append(order, "b") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[a1 b a2]" {
+		t.Fatalf("order = %v, want [a1 b a2]", order)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Hold(p, 10)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ends) != "[10 20 30]" {
+		t.Fatalf("hold completion times = %v, want serialized [10 20 30]", ends)
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Hold(p, 10)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ends) != "[10 10 20 20]" {
+		t.Fatalf("completion times = %v, want [10 10 20 20]", ends)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	var order []string
+	for _, n := range []string{"a", "b", "c"} {
+		n := n
+		e.Spawn(n, func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, n)
+			p.Sleep(1)
+			r.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Fatalf("grant order = %v, want FIFO [a b c]", order)
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	e.Spawn("p", func(p *Proc) {
+		r.Use(p, func() {
+			if r.InUse() != 1 {
+				t.Errorf("InUse inside Use = %d", r.InUse())
+			}
+		})
+		if r.InUse() != 0 {
+			t.Errorf("InUse after Use = %d", r.InUse())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceReleaseWithoutAcquirePanics(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceBadCapacityPanics(t *testing.T) {
+	e := NewEnv()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewResource(0) did not panic")
+		}
+	}()
+	e.NewResource(0)
+}
+
+// TestDeterminism runs a randomized workload twice and checks the observable
+// schedules match exactly.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEnv()
+		var log []string
+		r := e.NewResource(2)
+		c := e.NewCond()
+		for i := 0; i < 20; i++ {
+			i := i
+			d := Time(rng.Intn(50))
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				r.Hold(p, Time(i%3))
+				c.Broadcast()
+				log = append(log, fmt.Sprintf("%s@%.1f", p.Name(), p.Now()))
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("nondeterministic schedules:\n%v\n%v", a, b)
+	}
+}
+
+// Property: for any set of sleep durations, processes finish in sorted order
+// of duration (FIFO at ties by spawn order).
+func TestPropSleepOrdering(t *testing.T) {
+	f := func(durs []uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		e := NewEnv()
+		var got []Time
+		for i, d := range durs {
+			d := Time(d)
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				got = append(got, p.Now())
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a capacity-1 resource held for duration d by n processes always
+// completes the batch in exactly sum(d) time.
+func TestPropResourceThroughput(t *testing.T) {
+	f := func(durs []uint8) bool {
+		e := NewEnv()
+		r := e.NewResource(1)
+		var total Time
+		for i, d := range durs {
+			d := Time(d)
+			total += d
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) { r.Hold(p, d) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return e.Now() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

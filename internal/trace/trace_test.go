@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Stats
+	s.AddCopy(10)
+	if s.ShmCopies != 1 || s.ShmBytes != 10 || s.TotalCopies != 1 || s.TotalBytes != 10 {
+		t.Fatalf("after AddCopy: %+v", s)
+	}
+}
+
+func TestAddPlainCopyOnlyTotal(t *testing.T) {
+	var s Stats
+	s.AddPlainCopy(7)
+	if s.ShmCopies != 0 || s.TotalCopies != 1 || s.TotalBytes != 7 {
+		t.Fatalf("after AddPlainCopy: %+v", s)
+	}
+}
+
+func TestAddReduce(t *testing.T) {
+	var s Stats
+	s.AddReduce(128)
+	s.AddReduce(2)
+	if s.ReduceOps != 2 || s.ReduceElement != 130 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestAddPutGet(t *testing.T) {
+	var s Stats
+	s.AddPut(0)
+	s.AddPut(100)
+	s.AddGet(50)
+	if s.Puts != 2 || s.PutBytes != 100 || s.Gets != 1 || s.GetBytes != 50 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestAddSendProtocols(t *testing.T) {
+	var s Stats
+	s.AddSend(10, true, true)
+	s.AddSend(1<<20, false, false)
+	if s.MPISends != 2 || s.EagerSends != 1 || s.RndvSends != 1 || s.MPIShmSends != 1 {
+		t.Fatalf("%+v", s)
+	}
+	if s.MPIBytes != 10+1<<20 {
+		t.Fatalf("bytes = %d", s.MPIBytes)
+	}
+}
+
+func TestSub(t *testing.T) {
+	var a Stats
+	a.AddCopy(100)
+	a.AddPut(5)
+	before := a
+	a.AddCopy(1)
+	a.AddSend(9, true, false)
+	d := a.Sub(before)
+	if d.ShmCopies != 1 || d.ShmBytes != 1 || d.Puts != 0 || d.MPISends != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+// Property: Sub of a snapshot then re-adding gives back the later state for
+// the counters exercised.
+func TestPropSubConsistent(t *testing.T) {
+	f := func(copies, puts, sends uint8) bool {
+		var s Stats
+		for i := 0; i < int(copies); i++ {
+			s.AddCopy(3)
+		}
+		snap := s
+		for i := 0; i < int(puts); i++ {
+			s.AddPut(2)
+		}
+		for i := 0; i < int(sends); i++ {
+			s.AddSend(1, i%2 == 0, false)
+		}
+		d := s.Sub(snap)
+		return d.Puts == int(puts) && d.MPISends == int(sends) && d.ShmCopies == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringEmpty(t *testing.T) {
+	var s Stats
+	if got := s.String(); got != "{}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestStringShowsNonZero(t *testing.T) {
+	var s Stats
+	s.AddPut(42)
+	got := s.String()
+	if !strings.Contains(got, "puts=1") || !strings.Contains(got, "putBytes=42") {
+		t.Fatalf("String() = %q", got)
+	}
+	if strings.Contains(got, "gets=") {
+		t.Fatalf("String() shows zero counter: %q", got)
+	}
+}

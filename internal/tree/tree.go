@@ -1,0 +1,325 @@
+// Package tree builds the communication trees used by collective
+// operations — binomial (distance power-of-two), binary, generalized
+// Fibonacci, and flat — and embeds them into an SMP cluster the way the
+// paper does (§2.1, Figure 1): an inter-node tree over one master task per
+// node, plus an intra-node tree per SMP node. With equal tasks per node the
+// embedding does not increase the tree height, because
+// ceil(log2 P) >= ceil(log2 n) + ceil(log2 p).
+package tree
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind selects a tree shape.
+type Kind int
+
+const (
+	Binomial Kind = iota // distance power-of-two; best inter-node shape (§2.1)
+	Binary
+	Fibonacci // generalized Fibonacci proportions (postal-model trees [5])
+	Flat      // root is parent of everyone; the paper's SMP barrier shape
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Binomial:
+		return "binomial"
+	case Binary:
+		return "binary"
+	case Fibonacci:
+		return "fibonacci"
+	case Flat:
+		return "flat"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Tree is a rooted spanning tree over vertices 0..N-1.
+type Tree struct {
+	N        int
+	Root     int
+	Parent   []int   // Parent[Root] == -1
+	Children [][]int // ordered; for binomial, largest subtree first
+}
+
+// New builds a tree of the given kind over n vertices rooted at root.
+// Trees are constructed in relative-rank space (vertex v stands for
+// (root+v) mod n) and then relabeled, so any root works without extra
+// copies, as the paper's broadcast requires.
+func New(kind Kind, n, root int) Tree {
+	if n < 1 {
+		panic(fmt.Sprintf("tree: n = %d, want >= 1", n))
+	}
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("tree: root %d out of range [0,%d)", root, n))
+	}
+	t := Tree{
+		N:        n,
+		Root:     root,
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	abs := func(rel int) int { return (rel + root) % n }
+	link := func(parentRel, childRel int) {
+		p, c := abs(parentRel), abs(childRel)
+		t.Parent[c] = p
+		t.Children[p] = append(t.Children[p], c)
+	}
+	switch kind {
+	case Binomial:
+		// Child relative ranks of v are v + 2^k for 2^k below v's lowest
+		// set bit (the root sees every power of two). Largest offset first
+		// so the biggest subtree starts earliest.
+		for v := 0; v < n; v++ {
+			limit := v & (-v) // lowest set bit; 0 means root (unbounded)
+			for mask := highBit(n - 1); mask > 0; mask >>= 1 {
+				if (limit == 0 || mask < limit) && v+mask < n && v&mask == 0 {
+					link(v, v+mask)
+				}
+			}
+		}
+	case Binary:
+		for v := 0; v < n; v++ {
+			for _, c := range []int{2*v + 1, 2*v + 2} {
+				if c < n {
+					link(v, c)
+				}
+			}
+		}
+	case Fibonacci:
+		var build func(base, size, parentRel int)
+		build = func(base, size, parentRel int) {
+			if size == 0 {
+				return
+			}
+			if parentRel >= 0 {
+				link(parentRel, base)
+			}
+			rest := size - 1
+			// Golden-ratio split: the subtree started first is larger.
+			left := int(math.Round(float64(rest) / math.Phi))
+			build(base+1, left, base)
+			build(base+1+left, rest-left, base)
+		}
+		build(0, n, -1)
+	case Flat:
+		for v := 1; v < n; v++ {
+			link(0, v)
+		}
+	default:
+		panic(fmt.Sprintf("tree: unknown kind %d", int(kind)))
+	}
+	return t
+}
+
+func highBit(x int) int {
+	h := 1
+	for h<<1 <= x {
+		h <<= 1
+	}
+	if x == 0 {
+		return 0
+	}
+	return h
+}
+
+// Depth returns the number of edges from the root to v.
+func (t Tree) Depth(v int) int {
+	d := 0
+	for t.Parent[v] != -1 {
+		v = t.Parent[v]
+		d++
+	}
+	return d
+}
+
+// Height returns the maximum depth over all vertices.
+func (t Tree) Height() int {
+	h := 0
+	for v := 0; v < t.N; v++ {
+		if d := t.Depth(v); d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// Leaves returns the vertices with no children.
+func (t Tree) Leaves() []int {
+	var ls []int
+	for v := 0; v < t.N; v++ {
+		if len(t.Children[v]) == 0 {
+			ls = append(ls, v)
+		}
+	}
+	return ls
+}
+
+// Validate checks the structural invariants: a single root with Parent -1,
+// consistent Parent/Children, and every vertex reachable from the root.
+func (t Tree) Validate() error {
+	if t.Root < 0 || t.Root >= t.N {
+		return fmt.Errorf("tree: root %d out of range", t.Root)
+	}
+	if t.Parent[t.Root] != -1 {
+		return fmt.Errorf("tree: root %d has parent %d", t.Root, t.Parent[t.Root])
+	}
+	seen := make([]bool, t.N)
+	count := 0
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			return fmt.Errorf("tree: vertex %d reached twice", v)
+		}
+		seen[v] = true
+		count++
+		for _, c := range t.Children[v] {
+			if t.Parent[c] != v {
+				return fmt.Errorf("tree: child %d of %d has Parent %d", c, v, t.Parent[c])
+			}
+			stack = append(stack, c)
+		}
+	}
+	if count != t.N {
+		return fmt.Errorf("tree: %d of %d vertices reachable from root", count, t.N)
+	}
+	return nil
+}
+
+// Rounds returns the completion round of the tree under the one-port model
+// the paper's equation (1) uses: a vertex sends to its children one per
+// round in stored order, and a child can start forwarding the round after
+// it receives. For a binomial tree this is ceil(log2 N) — the paper's
+// h(P) = log(P). (The flat SMP broadcast is not one-port, so Rounds is not
+// the right cost metric for Flat trees; see internal/core.)
+func (t Tree) Rounds() int {
+	var walk func(v, recvAt int) int
+	walk = func(v, recvAt int) int {
+		last := recvAt
+		for i, c := range t.Children[v] {
+			if r := walk(c, recvAt+i+1); r > last {
+				last = r
+			}
+		}
+		return last
+	}
+	return walk(t.Root, 0)
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1; the binomial round count (eq. 1).
+func Log2Ceil(n int) int {
+	h := 0
+	for 1<<h < n {
+		h++
+	}
+	return h
+}
+
+// Log2Floor returns floor(log2(n)) for n >= 1; the binomial tree depth.
+func Log2Floor(n int) int {
+	h := 0
+	for 1<<(h+1) <= n {
+		h++
+	}
+	return h
+}
+
+// Embedding is a communication tree embedded into an SMP cluster: an
+// inter-node tree over the per-node master tasks and an intra-node tree on
+// each node (Figure 1).
+type Embedding struct {
+	Nodes        int
+	TasksPerNode int
+	Root         int    // global root rank
+	Masters      []int  // Masters[node] = global rank of the node's master
+	Inter        Tree   // over node ids, rooted at the root's node
+	Intra        []Tree // per node, over local ranks, rooted at the master
+}
+
+// Embed builds the embedding for a cluster of nodes x tasksPerNode tasks,
+// rooted at global rank root. The master of the root's node is the root
+// itself; elsewhere it is local rank 0. interKind shapes the tree between
+// masters, intraKind the tree inside each node.
+func Embed(nodes, tasksPerNode int, interKind, intraKind Kind, root int) Embedding {
+	if nodes < 1 || tasksPerNode < 1 {
+		panic("tree: embedding needs nodes >= 1 and tasksPerNode >= 1")
+	}
+	if root < 0 || root >= nodes*tasksPerNode {
+		panic(fmt.Sprintf("tree: root %d out of range", root))
+	}
+	rootNode := root / tasksPerNode
+	e := Embedding{
+		Nodes:        nodes,
+		TasksPerNode: tasksPerNode,
+		Root:         root,
+		Masters:      make([]int, nodes),
+		Inter:        New(interKind, nodes, rootNode),
+		Intra:        make([]Tree, nodes),
+	}
+	for nd := 0; nd < nodes; nd++ {
+		local := 0
+		if nd == rootNode {
+			local = root % tasksPerNode
+		}
+		e.Masters[nd] = nd*tasksPerNode + local
+		e.Intra[nd] = New(intraKind, tasksPerNode, local)
+	}
+	return e
+}
+
+// MasterOf returns the master rank of the node hosting the given rank.
+func (e Embedding) MasterOf(rank int) int { return e.Masters[rank/e.TasksPerNode] }
+
+// IsMaster reports whether the rank is its node's master.
+func (e Embedding) IsMaster(rank int) bool { return e.MasterOf(rank) == rank }
+
+// Height returns the embedded tree's total depth: inter-node depth plus
+// the maximum intra-node depth.
+func (e Embedding) Height() int {
+	h := 0
+	for _, t := range e.Intra {
+		if th := t.Height(); th > h {
+			h = th
+		}
+	}
+	return e.Inter.Height() + h
+}
+
+// Rounds returns the one-port completion round of the embedding: the
+// inter-node rounds plus the worst intra-node rounds — the quantity the
+// paper's §2.1 observation bounds by log(n) + log(p).
+func (e Embedding) Rounds() int {
+	r := 0
+	for _, t := range e.Intra {
+		if tr := t.Rounds(); tr > r {
+			r = tr
+		}
+	}
+	return e.Inter.Rounds() + r
+}
+
+// Render returns a one-vertex-per-line indented view of the tree, labeling
+// each vertex with label(v). Used by cmd/srmtree and examples.
+func Render(t Tree, label func(int) string) string {
+	var b strings.Builder
+	var walk func(v, depth int)
+	walk = func(v, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(label(v))
+		b.WriteByte('\n')
+		for _, c := range t.Children[v] {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}

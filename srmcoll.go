@@ -1,0 +1,534 @@
+// Package srmcoll is a library reproduction of "Fast Collective Operations
+// Using Shared and Remote Memory Access Protocols on Clusters" (Tipparaju,
+// Nieplocha, Panda; IPDPS 2003). It provides SRM collective operations —
+// barrier, broadcast, reduce, allreduce built directly on shared memory
+// within SMP nodes and one-sided remote memory access between them — plus
+// the two point-to-point MPI baselines the paper compares against, all
+// running on a deterministic discrete-event simulation of an SMP cluster.
+//
+// Programs are written SPMD-style: NewCluster describes the machine, Run
+// executes a body on every rank, and the Comm handle inside the body
+// offers the collective calls. Data movement is real (byte buffers are
+// actually copied and reduced); time is simulated microseconds from a
+// calibrated cost model, so results are reproducible to the bit.
+//
+//	cluster, _ := srmcoll.NewCluster(srmcoll.ColonySP(8, 16))
+//	res, _ := cluster.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+//	    buf := make([]byte, 1024)
+//	    c.Bcast(buf, 0)
+//	    c.Barrier()
+//	})
+//	fmt.Printf("completed in %.1f us\n", res.Time)
+package srmcoll
+
+import (
+	"fmt"
+
+	"srmcoll/internal/baseline"
+	"srmcoll/internal/core"
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/machine"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
+	"srmcoll/internal/tree"
+)
+
+// Config describes the simulated cluster; see internal/machine for every
+// timing parameter. Use ColonySP or ViaCluster for calibrated presets.
+type Config = machine.Config
+
+// ColonySP returns the paper's testbed: an IBM SP with the Colony switch
+// and (typically 16-way) SMP nodes.
+func ColonySP(nodes, tasksPerNode int) Config { return machine.ColonySP(nodes, tasksPerNode) }
+
+// ViaCluster returns a commodity VIA-class cluster preset.
+func ViaCluster(nodes, tasksPerNode int) Config { return machine.ViaCluster(nodes, tasksPerNode) }
+
+// Datatype is the element type of reduction buffers.
+type Datatype = dtype.Type
+
+// Op is a reduction operator.
+type Op = dtype.Op
+
+// Element types and operators (MPI-style).
+const (
+	Float64 = dtype.Float64
+	Float32 = dtype.Float32
+	Int64   = dtype.Int64
+	Int32   = dtype.Int32
+	Uint8   = dtype.Uint8
+
+	Sum  = dtype.Sum
+	Prod = dtype.Prod
+	Min  = dtype.Min
+	Max  = dtype.Max
+	Band = dtype.Band
+	Bor  = dtype.Bor
+	Bxor = dtype.Bxor
+)
+
+// Float64Bytes, Float64s, Int64Bytes and Int64s convert between typed
+// slices and the byte buffers the collectives move.
+var (
+	Float64Bytes = dtype.Float64Bytes
+	Float64s     = dtype.Float64s
+	Int64Bytes   = dtype.Int64Bytes
+	Int64s       = dtype.Int64s
+)
+
+// Impl selects a collective implementation.
+type Impl int
+
+const (
+	// SRM is the paper's contribution: collectives on shared memory + RMA.
+	SRM Impl = iota
+	// IBMMPI is the vendor-MPI baseline over point-to-point message passing.
+	IBMMPI
+	// MPICHMPI is the MPICH baseline over point-to-point message passing.
+	MPICHMPI
+)
+
+// String returns the implementation name used in reports.
+func (im Impl) String() string {
+	switch im {
+	case SRM:
+		return "srm"
+	case IBMMPI:
+		return "ibm-mpi"
+	case MPICHMPI:
+		return "mpich"
+	}
+	return fmt.Sprintf("Impl(%d)", int(im))
+}
+
+// Variant tunes SRM algorithm choices (ablations); the zero value is the
+// paper's configuration.
+type Variant struct {
+	InterTree      tree.Kind // inter-node tree shape (default binomial)
+	TreeSMPBcst    bool      // tree-based SMP broadcast instead of flat
+	BarrierSMPBcst bool      // barrier-arbitrated shared buffers (§4's contrast)
+	KeepInterrupts bool      // skip the §2.3 interrupt management
+}
+
+// TreeKind values for Variant.InterTree.
+const (
+	Binomial  = tree.Binomial
+	Binary    = tree.Binary
+	Fibonacci = tree.Fibonacci
+)
+
+// Cluster is a reusable description of a simulated machine. Each Run builds
+// a fresh deterministic simulation of it.
+type Cluster struct {
+	cfg     Config
+	variant Variant
+}
+
+// NewCluster validates the configuration and returns a cluster handle.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// SetVariant overrides SRM algorithm choices for subsequent runs.
+func (cl *Cluster) SetVariant(v Variant) { cl.variant = v }
+
+// Config returns the cluster configuration.
+func (cl *Cluster) Config() Config { return cl.cfg }
+
+// Result reports one SPMD run.
+type Result struct {
+	Time    float64     // virtual microseconds until the last rank finished
+	PerRank []float64   // per-rank completion times
+	Stats   trace.Stats // data-movement and protocol counters
+}
+
+// Comm is a rank's handle inside a Run body: its identity plus the
+// collective operations of the selected implementation. Sub carves out a
+// communicator over a subset of ranks.
+type Comm struct {
+	p        *sim.Proc
+	rank     int
+	size     int
+	m        *machine.Machine
+	dom      *rma.Domain
+	counters map[string]*SharedCounter
+	coll     collectives
+}
+
+// collectives is the operation set shared by SRM and the baselines.
+type collectives interface {
+	Barrier(p *sim.Proc, rank int)
+	Bcast(p *sim.Proc, rank int, buf []byte, root int)
+	Reduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op, root int)
+	Allreduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op)
+	Gather(p *sim.Proc, rank int, send, recv []byte, root int)
+	Scatter(p *sim.Proc, rank int, send, recv []byte, root int)
+	Allgather(p *sim.Proc, rank int, send, recv []byte)
+	Alltoall(p *sim.Proc, rank int, send, recv []byte)
+	ReduceScatter(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op)
+	Scan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op)
+	Exscan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op)
+	Subgroup(members []int) collectives
+}
+
+type srmAdapter struct{ s *core.SRM }
+
+func (a srmAdapter) Barrier(p *sim.Proc, rank int) { a.s.Barrier(p, rank) }
+func (a srmAdapter) Bcast(p *sim.Proc, rank int, buf []byte, root int) {
+	a.s.Bcast(p, rank, buf, root)
+}
+func (a srmAdapter) Reduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op, root int) {
+	a.s.Reduce(p, rank, send, recv, dt, op, root)
+}
+func (a srmAdapter) Allreduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.s.Allreduce(p, rank, send, recv, dt, op)
+}
+func (a srmAdapter) Gather(p *sim.Proc, rank int, send, recv []byte, root int) {
+	a.s.Gather(p, rank, send, recv, root)
+}
+func (a srmAdapter) Scatter(p *sim.Proc, rank int, send, recv []byte, root int) {
+	a.s.Scatter(p, rank, send, recv, root)
+}
+func (a srmAdapter) Allgather(p *sim.Proc, rank int, send, recv []byte) {
+	a.s.Allgather(p, rank, send, recv)
+}
+func (a srmAdapter) Alltoall(p *sim.Proc, rank int, send, recv []byte) {
+	a.s.Alltoall(p, rank, send, recv)
+}
+func (a srmAdapter) ReduceScatter(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.s.ReduceScatter(p, rank, send, recv, dt, op)
+}
+func (a srmAdapter) Scan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.s.Scan(p, rank, send, recv, dt, op)
+}
+func (a srmAdapter) Exscan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.s.Exscan(p, rank, send, recv, dt, op)
+}
+func (a srmAdapter) Subgroup(members []int) collectives {
+	return srmGroupAdapter{a.s.Group(members)}
+}
+
+type srmGroupAdapter struct{ g *core.Group }
+
+func (a srmGroupAdapter) Barrier(p *sim.Proc, rank int) { a.g.Barrier(p, rank) }
+func (a srmGroupAdapter) Bcast(p *sim.Proc, rank int, buf []byte, root int) {
+	a.g.Bcast(p, rank, buf, root)
+}
+func (a srmGroupAdapter) Reduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op, root int) {
+	a.g.Reduce(p, rank, send, recv, dt, op, root)
+}
+func (a srmGroupAdapter) Allreduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.g.Allreduce(p, rank, send, recv, dt, op)
+}
+func (a srmGroupAdapter) Gather(p *sim.Proc, rank int, send, recv []byte, root int) {
+	a.g.Gather(p, rank, send, recv, root)
+}
+func (a srmGroupAdapter) Scatter(p *sim.Proc, rank int, send, recv []byte, root int) {
+	a.g.Scatter(p, rank, send, recv, root)
+}
+func (a srmGroupAdapter) Allgather(p *sim.Proc, rank int, send, recv []byte) {
+	a.g.Allgather(p, rank, send, recv)
+}
+func (a srmGroupAdapter) Alltoall(p *sim.Proc, rank int, send, recv []byte) {
+	a.g.Alltoall(p, rank, send, recv)
+}
+func (a srmGroupAdapter) ReduceScatter(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.g.ReduceScatter(p, rank, send, recv, dt, op)
+}
+func (a srmGroupAdapter) Scan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.g.Scan(p, rank, send, recv, dt, op)
+}
+func (a srmGroupAdapter) Exscan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.g.Exscan(p, rank, send, recv, dt, op)
+}
+func (a srmGroupAdapter) Subgroup(members []int) collectives {
+	return srmGroupAdapter{a.g.Sub(members)}
+}
+
+type baselineAdapter struct{ c *baseline.Coll }
+
+func (a baselineAdapter) Barrier(p *sim.Proc, rank int) { a.c.Barrier(p, rank) }
+func (a baselineAdapter) Bcast(p *sim.Proc, rank int, buf []byte, root int) {
+	a.c.Bcast(p, rank, buf, root)
+}
+func (a baselineAdapter) Reduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op, root int) {
+	a.c.Reduce(p, rank, send, recv, dt, op, root)
+}
+func (a baselineAdapter) Allreduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.c.Allreduce(p, rank, send, recv, dt, op)
+}
+func (a baselineAdapter) Gather(p *sim.Proc, rank int, send, recv []byte, root int) {
+	a.c.Gather(p, rank, send, recv, root)
+}
+func (a baselineAdapter) Scatter(p *sim.Proc, rank int, send, recv []byte, root int) {
+	a.c.Scatter(p, rank, send, recv, root)
+}
+func (a baselineAdapter) Allgather(p *sim.Proc, rank int, send, recv []byte) {
+	a.c.Allgather(p, rank, send, recv)
+}
+func (a baselineAdapter) Alltoall(p *sim.Proc, rank int, send, recv []byte) {
+	a.c.Alltoall(p, rank, send, recv)
+}
+func (a baselineAdapter) ReduceScatter(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.c.ReduceScatter(p, rank, send, recv, dt, op)
+}
+func (a baselineAdapter) Scan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.c.Scan(p, rank, send, recv, dt, op)
+}
+func (a baselineAdapter) Exscan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.c.Exscan(p, rank, send, recv, dt, op)
+}
+func (a baselineAdapter) Subgroup(members []int) collectives {
+	return baselineGroupAdapter{a.c.Group(members)}
+}
+
+type baselineGroupAdapter struct{ g *baseline.Group }
+
+func (a baselineGroupAdapter) Barrier(p *sim.Proc, rank int) { a.g.Barrier(p, rank) }
+func (a baselineGroupAdapter) Bcast(p *sim.Proc, rank int, buf []byte, root int) {
+	a.g.Bcast(p, rank, buf, root)
+}
+func (a baselineGroupAdapter) Reduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op, root int) {
+	a.g.Reduce(p, rank, send, recv, dt, op, root)
+}
+func (a baselineGroupAdapter) Allreduce(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.g.Allreduce(p, rank, send, recv, dt, op)
+}
+func (a baselineGroupAdapter) Gather(p *sim.Proc, rank int, send, recv []byte, root int) {
+	a.g.Gather(p, rank, send, recv, root)
+}
+func (a baselineGroupAdapter) Scatter(p *sim.Proc, rank int, send, recv []byte, root int) {
+	a.g.Scatter(p, rank, send, recv, root)
+}
+func (a baselineGroupAdapter) Allgather(p *sim.Proc, rank int, send, recv []byte) {
+	a.g.Allgather(p, rank, send, recv)
+}
+func (a baselineGroupAdapter) Alltoall(p *sim.Proc, rank int, send, recv []byte) {
+	a.g.Alltoall(p, rank, send, recv)
+}
+func (a baselineGroupAdapter) ReduceScatter(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.g.ReduceScatter(p, rank, send, recv, dt, op)
+}
+func (a baselineGroupAdapter) Scan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.g.Scan(p, rank, send, recv, dt, op)
+}
+func (a baselineGroupAdapter) Exscan(p *sim.Proc, rank int, send, recv []byte, dt Datatype, op Op) {
+	a.g.Exscan(p, rank, send, recv, dt, op)
+}
+func (a baselineGroupAdapter) Subgroup(members []int) collectives {
+	return baselineGroupAdapter{a.g.Sub(members)}
+}
+
+// Sub returns a communicator over the given subset of global ranks — the
+// paper's §5 extension to arbitrary MPI task groups. Member order defines
+// the group; every member must pass the same list and make the same
+// sequence of collective calls on it. Roots remain global ranks. Only
+// member ranks may use the returned Comm.
+func (c *Comm) Sub(members []int) *Comm {
+	return &Comm{
+		p:        c.p,
+		rank:     c.rank,
+		size:     len(members),
+		m:        c.m,
+		dom:      c.dom,
+		counters: c.counters,
+		coll:     c.coll.Subgroup(members),
+	}
+}
+
+// Rank returns this task's global rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator (the whole world,
+// or the subgroup for a Comm obtained from Sub).
+func (c *Comm) Size() int { return c.size }
+
+// Node returns the SMP node hosting this rank.
+func (c *Comm) Node() int { return c.m.NodeOf(c.rank) }
+
+// LocalRank returns this rank's index within its node.
+func (c *Comm) LocalRank() int { return c.m.LocalRank(c.rank) }
+
+// Now returns the current virtual time in microseconds.
+func (c *Comm) Now() float64 { return c.p.Now() }
+
+// Compute advances this rank's virtual clock by us microseconds, modeling
+// local computation between communication phases.
+func (c *Comm) Compute(us float64) { c.p.Sleep(us) }
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.coll.Barrier(c.p, c.rank) }
+
+// Bcast broadcasts buf from root; on other ranks buf is overwritten.
+func (c *Comm) Bcast(buf []byte, root int) { c.coll.Bcast(c.p, c.rank, buf, root) }
+
+// Reduce combines send across ranks into recv at root (recv may be nil
+// elsewhere).
+func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) {
+	c.coll.Reduce(c.p, c.rank, send, recv, dt, op, root)
+}
+
+// Allreduce combines send across ranks into every rank's recv.
+func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) {
+	c.coll.Allreduce(c.p, c.rank, send, recv, dt, op)
+}
+
+// Gather collects every rank's send block into recv at root (recv must
+// hold Size()*len(send) bytes there; it is ignored elsewhere).
+func (c *Comm) Gather(send, recv []byte, root int) {
+	c.coll.Gather(c.p, c.rank, send, recv, root)
+}
+
+// Scatter distributes root's send (Size()*len(recv) bytes) so each rank
+// receives its block in recv.
+func (c *Comm) Scatter(send, recv []byte, root int) {
+	c.coll.Scatter(c.p, c.rank, send, recv, root)
+}
+
+// Allgather concatenates every rank's send block into every rank's recv
+// (Size()*len(send) bytes), ordered by rank.
+func (c *Comm) Allgather(send, recv []byte) {
+	c.coll.Allgather(c.p, c.rank, send, recv)
+}
+
+// Alltoall exchanges per-rank blocks: send and recv hold Size() blocks of
+// equal size; rank j receives this rank's block j at offset Rank().
+func (c *Comm) Alltoall(send, recv []byte) {
+	c.coll.Alltoall(c.p, c.rank, send, recv)
+}
+
+// ReduceScatter combines every rank's send vector (Size()*len(recv)
+// bytes) elementwise and delivers reduced block i to rank i in recv.
+func (c *Comm) ReduceScatter(send, recv []byte, dt Datatype, op Op) {
+	c.coll.ReduceScatter(c.p, c.rank, send, recv, dt, op)
+}
+
+// Scan leaves in recv the reduction of the send buffers of all ranks with
+// rank <= this one (inclusive prefix reduction).
+func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) {
+	c.coll.Scan(c.p, c.rank, send, recv, dt, op)
+}
+
+// Exscan is the exclusive prefix reduction; rank 0's recv is zeroed.
+func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) {
+	c.coll.Exscan(c.p, c.rank, send, recv, dt, op)
+}
+
+// AllgatherFloat64 is a convenience wrapper concatenating float64 vectors.
+func (c *Comm) AllgatherFloat64(send []float64) []float64 {
+	sb := dtype.Float64Bytes(send)
+	rb := make([]byte, len(sb)*c.Size())
+	c.Allgather(sb, rb)
+	return dtype.Float64s(rb)
+}
+
+// ReduceFloat64 is a convenience wrapper summing float64 vectors.
+func (c *Comm) ReduceFloat64(send []float64, op Op, root int) []float64 {
+	sb := dtype.Float64Bytes(send)
+	var rb []byte
+	if c.rank == root {
+		rb = make([]byte, len(sb))
+	}
+	c.Reduce(sb, rb, Float64, op, root)
+	if c.rank != root {
+		return nil
+	}
+	return dtype.Float64s(rb)
+}
+
+// AllreduceFloat64 is a convenience wrapper combining float64 vectors.
+func (c *Comm) AllreduceFloat64(send []float64, op Op) []float64 {
+	sb := dtype.Float64Bytes(send)
+	rb := make([]byte, len(sb))
+	c.Allreduce(sb, rb, Float64, op)
+	return dtype.Float64s(rb)
+}
+
+// SharedCounter is a cluster-visible 64-bit word supporting atomic
+// read-modify-write operations (LAPI_Rmw style, §2.3 of the paper). Obtain
+// one inside a Run body with Comm.SharedCounter; the counter lives at the
+// hosting rank and any rank may operate on it.
+type SharedCounter struct {
+	word *rma.Word
+	dom  *rma.Domain
+}
+
+// SharedCounter returns the shared counter registered under the given id,
+// creating it (hosted at rank `host`, initialized to init) on first use.
+// All ranks using the same id share one counter; the creating call's host
+// and init win.
+func (c *Comm) SharedCounter(id string, host int, init int64) *SharedCounter {
+	reg := c.counters
+	if w, ok := reg[id]; ok {
+		return w
+	}
+	sc := &SharedCounter{word: c.dom.Endpoint(host).NewWord(init), dom: c.dom}
+	reg[id] = sc
+	return sc
+}
+
+// FetchAdd atomically adds delta and returns the previous value.
+func (sc *SharedCounter) FetchAdd(c *Comm, delta int64) int64 {
+	return sc.dom.Endpoint(c.rank).Rmw(c.p, sc.word, rma.FetchAndAdd, delta, 0)
+}
+
+// Swap atomically stores v and returns the previous value.
+func (sc *SharedCounter) Swap(c *Comm, v int64) int64 {
+	return sc.dom.Endpoint(c.rank).Rmw(c.p, sc.word, rma.Swap, v, 0)
+}
+
+// CompareAndSwap stores v if the counter equals expect, returning the
+// previous value (equal to expect exactly when the swap happened).
+func (sc *SharedCounter) CompareAndSwap(c *Comm, expect, v int64) int64 {
+	return sc.dom.Endpoint(c.rank).Rmw(c.p, sc.word, rma.CompareAndSwap, v, expect)
+}
+
+// Run executes body on every rank of a fresh simulation of the cluster
+// using the chosen implementation, and reports timing and traffic. It
+// returns an error if the simulation deadlocks (for example when ranks
+// disagree on the sequence of collective calls).
+func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
+	env := sim.NewEnv()
+	m := machine.New(env, cl.cfg)
+	dom := rma.NewDomain(m)
+	var coll collectives
+	switch impl {
+	case SRM:
+		coll = srmAdapter{core.New(m, dom, core.Options{
+			InterTree:      cl.variant.InterTree,
+			TreeSMPBcst:    cl.variant.TreeSMPBcst,
+			BarrierSMPBcst: cl.variant.BarrierSMPBcst,
+			KeepInterrupts: cl.variant.KeepInterrupts,
+		})}
+	case IBMMPI:
+		coll = baselineAdapter{baseline.New(m, baseline.IBM)}
+	case MPICHMPI:
+		coll = baselineAdapter{baseline.New(m, baseline.MPICH)}
+	default:
+		return nil, fmt.Errorf("srmcoll: unknown implementation %d", int(impl))
+	}
+	counters := make(map[string]*SharedCounter)
+	res := &Result{PerRank: make([]float64, m.P())}
+	for r := 0; r < m.P(); r++ {
+		r := r
+		env.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			body(&Comm{p: p, rank: r, size: m.P(), m: m, dom: dom,
+				counters: counters, coll: coll})
+			res.PerRank[r] = p.Now()
+		})
+	}
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	for _, t := range res.PerRank {
+		if t > res.Time {
+			res.Time = t
+		}
+	}
+	res.Stats = *m.Stats
+	return res, nil
+}
