@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 
+	"srmcoll/internal/check"
 	"srmcoll/internal/sim"
 	"srmcoll/internal/tree"
 )
@@ -28,8 +29,8 @@ func (g *Group) Gather(p *sim.Proc, rank int, send, recv []byte, root int) {
 	rootIdx := g.index(root)
 	P := len(g.members)
 	blk := len(send)
-	if rank == root && len(recv) != blk*P {
-		panic(fmt.Sprintf("baseline: Gather root recv %d bytes, want %d", len(recv), blk*P))
+	if rank == root {
+		check.Size("baseline.Gather", rank, "recv", len(recv), blk*P)
 	}
 	if P == 1 {
 		g.c.localCopy(p, rank, recv, send)
@@ -82,8 +83,8 @@ func (g *Group) Scatter(p *sim.Proc, rank int, send, recv []byte, root int) {
 	rootIdx := g.index(root)
 	P := len(g.members)
 	blk := len(recv)
-	if rank == root && len(send) != blk*P {
-		panic(fmt.Sprintf("baseline: Scatter root send %d bytes, want %d", len(send), blk*P))
+	if rank == root {
+		check.Size("baseline.Scatter", rank, "send", len(send), blk*P)
 	}
 	if P == 1 {
 		g.c.localCopy(p, rank, recv, send)
@@ -132,9 +133,7 @@ func (g *Group) Allgather(p *sim.Proc, rank int, send, recv []byte) {
 	me := g.index(rank)
 	P := len(g.members)
 	blk := len(send)
-	if len(recv) != blk*P {
-		panic(fmt.Sprintf("baseline: Allgather recv %d bytes, want %d", len(recv), blk*P))
-	}
+	check.Size("baseline.Allgather", rank, "recv", len(recv), blk*P)
 	r := g.c.w.Rank(rank)
 	g.c.localCopy(p, rank, recv[me*blk:(me+1)*blk], send)
 	if P == 1 {
@@ -185,9 +184,10 @@ func (c *Coll) world() *Group {
 func (g *Group) Alltoall(p *sim.Proc, rank int, send, recv []byte) {
 	me := g.index(rank)
 	P := len(g.members)
-	if len(send) != len(recv) || len(send)%P != 0 {
-		panic(fmt.Sprintf("baseline: Alltoall buffers %d/%d over %d members",
-			len(send), len(recv), P))
+	check.Size("baseline.Alltoall", rank, "recv", len(recv), len(send))
+	if len(send)%P != 0 {
+		panic(fmt.Sprintf("baseline: Alltoall send %d bytes not divisible over %d members",
+			len(send), P))
 	}
 	blk := len(send) / P
 	r := g.c.w.Rank(rank)

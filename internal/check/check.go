@@ -1,0 +1,28 @@
+// Package check centralizes buffer-shape validation for collective
+// operations. Validation failures panic with a *SizeError; the Run
+// boundary (srmcoll.Cluster.Run) recovers them into a structured
+// *srmcoll.RunError instead of killing the host program, and every layer
+// produces the same message shape: operation, rank, buffer, got/want bytes.
+package check
+
+import "fmt"
+
+// SizeError describes a collective called with a wrong-sized buffer.
+type SizeError struct {
+	Op        string // operation, e.g. "core.Gather"
+	Rank      int    // global rank that made the call
+	Buf       string // which buffer: "send" or "recv"
+	Got, Want int    // sizes in bytes
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("%s: rank %d: %s buffer is %d bytes, want %d",
+		e.Op, e.Rank, e.Buf, e.Got, e.Want)
+}
+
+// Size panics with a *SizeError when got != want.
+func Size(op string, rank int, buf string, got, want int) {
+	if got != want {
+		panic(&SizeError{Op: op, Rank: rank, Buf: buf, Got: got, Want: want})
+	}
+}

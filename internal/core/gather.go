@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"srmcoll/internal/check"
 	"srmcoll/internal/rma"
 	"srmcoll/internal/shm"
 	"srmcoll/internal/sim"
@@ -164,9 +165,7 @@ func (g *Group) Gather(p *sim.Proc, rank int, send, recv []byte, root int) {
 		panic(fmt.Sprintf("core: Gather mismatch at rank %d", rank))
 	}
 	if rank == root {
-		if len(recv) != r.blk*g.Size() {
-			panic(fmt.Sprintf("core: Gather root recv %d bytes, want %d", len(recv), r.blk*g.Size()))
-		}
+		check.Size("core.Gather", rank, "recv", len(recv), r.blk*g.Size())
 		r.rootBuf = recv
 		r.rootSet.Trigger()
 	}
@@ -232,8 +231,8 @@ func (g *Group) Scatter(p *sim.Proc, rank int, send, recv []byte, root int) {
 	if r.kind != "scatter" || r.root != root || r.blk != len(recv) {
 		panic(fmt.Sprintf("core: Scatter mismatch at rank %d", rank))
 	}
-	if rank == root && len(send) != r.blk*g.Size() {
-		panic(fmt.Sprintf("core: Scatter root send %d bytes, want %d", len(send), r.blk*g.Size()))
+	if rank == root {
+		check.Size("core.Scatter", rank, "send", len(send), r.blk*g.Size())
 	}
 	r.runScatter(p, rank, send, recv)
 }
@@ -292,9 +291,7 @@ func (g *Group) Allgather(p *sim.Proc, rank int, send, recv []byte) {
 	if r.kind != "allgather" || r.blk != len(send) {
 		panic(fmt.Sprintf("core: Allgather mismatch at rank %d", rank))
 	}
-	if len(recv) != r.blk*g.Size() {
-		panic(fmt.Sprintf("core: Allgather recv %d bytes, want %d", len(recv), r.blk*g.Size()))
-	}
+	check.Size("core.Allgather", rank, "recv", len(recv), r.blk*g.Size())
 	if r.direct {
 		r.runAllgatherDirect(p, rank, send, recv)
 	} else {

@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroPlanInactive(t *testing.T) {
+	var p Plan
+	if p.Active() {
+		t.Fatal("zero plan reports Active")
+	}
+	p.Seed = 99 // a seed alone injects nothing
+	if p.Active() {
+		t.Fatal("seed-only plan reports Active")
+	}
+	p.Drop = 0.1
+	if !p.Active() {
+		t.Fatal("plan with Drop > 0 reports inactive")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Drop: 0.2, Dup: 0.1, Delay: 0.3, DelayMax: 50}
+	a, b := New(plan), New(plan)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Put(0, 1), b.Put(0, 1)
+		if va != vb {
+			t.Fatalf("draw %d: verdicts diverge: %+v != %+v", i, va, vb)
+		}
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("summaries diverge: %v != %v", a.Summary(), b.Summary())
+	}
+	if a.Summary().PutDrops == 0 || a.Summary().PutDups == 0 || a.Summary().PutDelays == 0 {
+		t.Fatalf("1000 draws at 20/10/30%% produced %v; want every kind", a.Summary())
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a, b := New(Plan{Seed: 1, Drop: 0.5}), New(Plan{Seed: 2, Drop: 0.5})
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a.Put(0, 1).Drop == b.Put(0, 1).Drop {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("seeds 1 and 2 produced identical drop streams")
+	}
+}
+
+func TestDropRateRoughlyHonored(t *testing.T) {
+	in := New(Plan{Seed: 7, Drop: 0.25})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Put(0, 1)
+	}
+	got := float64(in.Summary().PutDrops) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("empirical drop rate %.3f, want ~0.25", got)
+	}
+}
+
+func TestChannelOverride(t *testing.T) {
+	in := New(Plan{
+		Seed:     3,
+		Drop:     0, // default channel is clean
+		Channels: []ChannelFault{{Src: 1, Dst: -1, Drop: 1}},
+	})
+	if v := in.Put(0, 2); v.Drop {
+		t.Fatal("clean channel dropped")
+	}
+	if v := in.Put(1, 2); !v.Drop {
+		t.Fatal("overridden channel (src=1) did not drop at rate 1")
+	}
+	if v := in.Put(1, 0); !v.Drop {
+		t.Fatal("wildcard dst did not match")
+	}
+}
+
+func TestStormDelayWindows(t *testing.T) {
+	in := New(Plan{Seed: 0, Storms: []Storm{
+		{Node: 1, From: 10, Until: 20, Extra: 5},
+		{Node: 1, From: 15, Until: 30, Extra: 2},
+	}})
+	if d := in.StormDelay(1, 5); d != 0 {
+		t.Fatalf("before window: delay %v, want 0", d)
+	}
+	if d := in.StormDelay(0, 12); d != 0 {
+		t.Fatalf("other node: delay %v, want 0", d)
+	}
+	if d := in.StormDelay(1, 12); d != 5 {
+		t.Fatalf("inside first window: delay %v, want 5", d)
+	}
+	if d := in.StormDelay(1, 17); d != 7 {
+		t.Fatalf("overlapping windows: delay %v, want 7", d)
+	}
+	if d := in.StormDelay(1, 25); d != 2 {
+		t.Fatalf("second window only: delay %v, want 2", d)
+	}
+	if got := in.Summary().StormHits; got != 3 {
+		t.Fatalf("StormHits = %d, want 3", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero", Plan{}, true},
+		{"good", Plan{Drop: 0.5, Crashes: []Crash{{Rank: 3, At: 10}}}, true},
+		{"drop>1", Plan{Drop: 1.5}, false},
+		{"negative", Plan{Dup: -0.1}, false},
+		{"crash rank", Plan{Crashes: []Crash{{Rank: 8, At: 0}}}, false},
+		{"stall factor", Plan{Stalls: []Stall{{Rank: 0, Factor: 0.5}}}, false},
+		{"channel rank", Plan{Channels: []ChannelFault{{Src: -2, Dst: 0}}}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(8)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if got := (Summary{}).String(); got != "{}" {
+		t.Fatalf("empty summary = %q", got)
+	}
+	s := Summary{PutDrops: 2, Crashes: 1}
+	if got := s.String(); got != "{crashes=1 putDrops=2}" {
+		t.Fatalf("summary = %q", got)
+	}
+}

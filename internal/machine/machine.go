@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"srmcoll/internal/fault"
 	"srmcoll/internal/sim"
 	"srmcoll/internal/trace"
 )
@@ -157,6 +158,11 @@ type Machine struct {
 	Cfg   Config
 	Stats *trace.Stats
 	nodes []*Node
+
+	// Faults is the run's fault injector, nil by default. When set, the
+	// RMA layer consults it for wire-put faults and the machine for
+	// interrupt-storm delivery penalties; nil costs nothing.
+	Faults *fault.Injector
 }
 
 // New creates a machine. It panics on an invalid configuration, since every
@@ -325,6 +331,16 @@ func (m *Machine) SpinPenalty(node int) sim.Time {
 		return m.Cfg.StarvePenalty
 	}
 	return 0
+}
+
+// StormPenalty returns the extra delivery latency on a node from any
+// injected interrupt storm covering the current virtual time; zero when no
+// fault injector is attached.
+func (m *Machine) StormPenalty(node int) sim.Time {
+	if m.Faults == nil {
+		return 0
+	}
+	return m.Faults.StormDelay(node, m.Env.Now())
 }
 
 // WakeLatency is the latency from a flag store to the waiter observing it;

@@ -1,0 +1,179 @@
+package rma
+
+import (
+	"srmcoll/internal/fault"
+	"srmcoll/internal/sim"
+)
+
+// This file adds transport robustness to the put path. The paper's
+// protocols assume LAPI delivers every put exactly once; when a fault plan
+// says otherwise, the domain can run in reliable-delivery mode:
+//
+//   - every inter-node put carries a per-(src,dst)-channel sequence number;
+//   - the target adapter acknowledges each data packet on arrival (a
+//     zero-byte message back over the wire) and suppresses duplicates by
+//     sequence number, so retransmitted data is delivered exactly once;
+//   - the origin retransmits on ack timeout, doubling the timeout per
+//     attempt up to a bounded backoff cap, until the ack lands.
+//
+// Counter semantics are preserved: origin fires when the first attempt's
+// injection completes, target when the payload is first delivered, compl
+// when the origin receives the (first) ack. Without reliable mode, faults
+// hit the protocols directly: dropped puts are lost forever and duplicated
+// puts bump target counters twice.
+//
+// All of this is reachable only when faults or reliable mode are requested;
+// the default path in Put is untouched and bit-identical to the original.
+
+// chKey identifies a directed (src, dst) put channel by global rank.
+type chKey struct{ src, dst int }
+
+// EnableReliable switches the domain to reliable-delivery mode. ackTimeout
+// is the first-attempt retransmit timeout and backoffCap bounds the
+// exponential backoff; zero values derive defaults from the machine's
+// network parameters (several round trips, so clean runs never retransmit
+// spuriously).
+func (d *Domain) EnableReliable(ackTimeout, backoffCap sim.Time) {
+	cfg := d.m.Cfg
+	if ackTimeout <= 0 {
+		// A generous RTT bound: two wire latencies plus the worst-case
+		// delivery cost at the target and packet overheads, times four.
+		ackTimeout = 4 * (2*cfg.NetLatency + cfg.InterruptCost + cfg.RecvOverhead +
+			cfg.StarvePenalty + 2*cfg.NetPktOverhead)
+	}
+	if backoffCap <= 0 {
+		backoffCap = 16 * ackTimeout
+	}
+	d.reliable = true
+	d.ackTimeout = ackTimeout
+	d.backoffCap = backoffCap
+	d.sendSeq = make(map[chKey]int)
+	d.seen = make(map[chKey]map[int]bool)
+}
+
+// Reliable reports whether the domain is in reliable-delivery mode.
+func (d *Domain) Reliable() bool { return d.reliable }
+
+// wirePut is the inter-node put path when faults or reliable mode are
+// active. snap is the already-snapshotted payload.
+func (d *Domain) wirePut(src, target *Endpoint, dst, snap []byte, origin, tgt, compl *Counter) {
+	if d.reliable {
+		d.reliablePut(src, target, dst, snap, origin, tgt, compl)
+		return
+	}
+	m := d.m
+	injectEnd, arrival := m.NetInject(src.Node, len(snap))
+	if origin != nil {
+		m.Env.At(injectEnd, func() { origin.Incr(1) })
+	}
+	var v fault.Verdict
+	if m.Faults != nil {
+		v = m.Faults.Put(src.Rank, target.Rank)
+	}
+	if v.Drop {
+		// Lost in the switch; without reliable delivery nobody notices.
+		m.Stats.Drops++
+		return
+	}
+	deliver := func() {
+		target.deliver(func() {
+			copy(dst, snap)
+			if tgt != nil {
+				tgt.Incr(1)
+			}
+			if compl != nil {
+				m.Env.After(m.Cfg.NetLatency, func() { compl.Incr(1) })
+			}
+		})
+	}
+	m.Env.At(arrival+v.Delay, deliver)
+	if v.Dup {
+		// The duplicate takes one extra wire latency and is delivered in
+		// full — unreliable mode has no dedup, so counters double-fire.
+		m.Env.At(arrival+v.Delay+m.Cfg.NetLatency, deliver)
+	}
+}
+
+// reliablePut implements sequence numbers, ack-based retransmit with
+// bounded exponential backoff, and duplicate suppression for one put.
+func (d *Domain) reliablePut(src, target *Endpoint, dst, snap []byte, origin, tgt, compl *Counter) {
+	m := d.m
+	key := chKey{src.Rank, target.Rank}
+	seq := d.sendSeq[key]
+	d.sendSeq[key] = seq + 1
+	acked := false
+
+	// handleArrival runs when one (re)transmission reaches the target
+	// adapter: deliver the payload exactly once, ack every copy.
+	handleArrival := func() {
+		seen := d.seen[key]
+		if seen == nil {
+			seen = make(map[int]bool)
+			d.seen[key] = seen
+		}
+		if seen[seq] {
+			m.Stats.DupsSuppressed++
+		} else {
+			seen[seq] = true
+			target.deliver(func() {
+				copy(dst, snap)
+				if tgt != nil {
+					tgt.Incr(1)
+				}
+			})
+		}
+		// The adapter acks from firmware on arrival (it does not wait for
+		// the interrupt-level delivery), so retransmits stop as soon as
+		// the data is safely at the target node.
+		_, ackArrival := m.NetInject(target.Node, 0)
+		if m.Faults != nil && m.Faults.AckDrop(target.Rank, src.Rank) {
+			return // ack lost; the origin will time out and retransmit
+		}
+		m.Env.At(ackArrival, func() {
+			if acked {
+				return
+			}
+			acked = true
+			if compl != nil {
+				compl.Incr(1)
+			}
+		})
+	}
+
+	var attempt func(try int)
+	attempt = func(try int) {
+		injectEnd, arrival := m.NetInject(src.Node, len(snap))
+		if try == 0 && origin != nil {
+			m.Env.At(injectEnd, func() { origin.Incr(1) })
+		}
+		var v fault.Verdict
+		if m.Faults != nil {
+			v = m.Faults.Put(src.Rank, target.Rank)
+		}
+		if v.Drop {
+			m.Stats.Drops++
+		} else {
+			m.Env.At(arrival+v.Delay, handleArrival)
+			if v.Dup {
+				m.Env.At(arrival+v.Delay+m.Cfg.NetLatency, handleArrival)
+			}
+		}
+		// Retransmit on ack timeout, doubling up to the backoff cap.
+		timeout := d.ackTimeout
+		for i := 0; i < try && timeout < d.backoffCap; i++ {
+			timeout *= 2
+		}
+		if timeout > d.backoffCap {
+			timeout = d.backoffCap
+		}
+		m.Env.After(timeout, func() {
+			if acked {
+				return
+			}
+			m.Stats.AckTimeouts++
+			m.Stats.Retries++
+			attempt(try + 1)
+		})
+	}
+	attempt(0)
+}

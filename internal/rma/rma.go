@@ -13,6 +13,8 @@
 package rma
 
 import (
+	"fmt"
+
 	"srmcoll/internal/machine"
 	"srmcoll/internal/sim"
 )
@@ -44,7 +46,9 @@ func (c *Counter) Incr(n int) {
 // waitGE blocks until the counter is at least v.
 func (c *Counter) waitGE(p *sim.Proc, v int) {
 	for c.val < v {
-		c.cond.Wait(p)
+		c.cond.WaitReason(p, func() string {
+			return fmt.Sprintf("rma counter %s: value %d, want >= %d", c.cond.ID(), c.val, v)
+		})
 	}
 }
 
@@ -72,6 +76,14 @@ type Endpoint struct {
 type Domain struct {
 	m   *machine.Machine
 	eps []*Endpoint
+
+	// Reliable-delivery state (see reliable.go). Off by default: the
+	// paper's protocols assume LAPI delivers every put exactly once.
+	reliable   bool
+	ackTimeout sim.Time
+	backoffCap sim.Time
+	sendSeq    map[chKey]int
+	seen       map[chKey]map[int]bool
 }
 
 // NewDomain attaches every task of the machine to the RMA layer.
@@ -137,7 +149,9 @@ func (ep *Endpoint) Waitcntr(p *sim.Proc, c *Counter, v int) {
 func (ep *Endpoint) Probe(p *sim.Proc) { ep.drainPending(p) }
 
 // deliver routes an arrived message according to the interrupt/progress
-// rules. fn performs the actual data movement and counter updates.
+// rules. fn performs the actual data movement and counter updates. Injected
+// interrupt storms (machine.StormPenalty, zero by default) slow deliveries
+// the same way spin-loop starvation does.
 func (ep *Endpoint) deliver(fn func()) {
 	m := ep.dom.m
 	switch {
@@ -145,10 +159,10 @@ func (ep *Endpoint) deliver(fn func()) {
 		// Even with the dispatcher polling, the service threads need CPU
 		// cycles that non-yielding spin loops elsewhere on the node hold
 		// (§2.4) — hence the starvation penalty here as well.
-		m.Env.After(m.Cfg.RecvOverhead+m.SpinPenalty(ep.Node), fn)
+		m.Env.After(m.Cfg.RecvOverhead+m.SpinPenalty(ep.Node)+m.StormPenalty(ep.Node), fn)
 	case ep.interrupts:
 		m.Stats.Interrupts++
-		m.Env.After(m.Cfg.InterruptCost+m.SpinPenalty(ep.Node), fn)
+		m.Env.After(m.Cfg.InterruptCost+m.SpinPenalty(ep.Node)+m.StormPenalty(ep.Node), fn)
 	default:
 		m.Stats.Deferrals++
 		ep.pending = append(ep.pending, fn)
@@ -194,6 +208,10 @@ func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, 
 	var snap []byte
 	if len(src) > 0 {
 		snap = append(snap, src...)
+	}
+	if ep.dom.reliable || m.Faults != nil {
+		ep.dom.wirePut(ep, target, dst, snap, origin, tgt, compl)
+		return
 	}
 	injectEnd, arrival := m.NetInject(ep.Node, len(src))
 	if origin != nil {

@@ -43,19 +43,31 @@ func (f *Flag) Set(v int) {
 // counted as a (possibly non-yielding) spinner on its node, which the RMA
 // layer consults for delivery starvation.
 func (f *Flag) WaitUntil(p *sim.Proc, pred func(int) bool) {
+	f.waitUntil(p, pred, -1)
+}
+
+// waitUntil implements WaitUntil; want >= 0 enriches stall reports with the
+// awaited value.
+func (f *Flag) waitUntil(p *sim.Proc, pred func(int) bool, want int) {
 	if pred(f.val) {
 		return
 	}
 	f.m.SpinEnter(f.node)
 	for !pred(f.val) {
-		f.cond.Wait(p)
+		f.cond.WaitReason(p, func() string {
+			if want >= 0 {
+				return fmt.Sprintf("shm flag %s on node %d: value %d, want %d",
+					f.cond.ID(), f.node, f.val, want)
+			}
+			return fmt.Sprintf("shm flag %s on node %d: value %d", f.cond.ID(), f.node, f.val)
+		})
 	}
 	f.m.SpinExit(f.node)
 }
 
 // WaitFor spins until the flag equals v.
 func (f *Flag) WaitFor(p *sim.Proc, v int) {
-	f.WaitUntil(p, func(x int) bool { return x == v })
+	f.waitUntil(p, func(x int) bool { return x == v }, v)
 }
 
 // FlagSet is one flag per local task, as used by the SMP barrier and

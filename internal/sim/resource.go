@@ -1,11 +1,14 @@
 package sim
 
+import "fmt"
+
 // Resource is a counted resource with FIFO admission, used to model
 // serialized hardware such as a NIC injection port or a DMA engine.
 // Capacity tokens are available; Acquire blocks while none are free and
 // grants strictly in arrival order.
 type Resource struct {
 	env   *Env
+	id    string
 	cap   int
 	inUse int
 	queue []*Proc
@@ -16,7 +19,7 @@ func (e *Env) NewResource(capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{env: e, cap: capacity}
+	return &Resource{env: e, id: e.resID("resource"), cap: capacity}
 }
 
 // InUse reports the number of currently held tokens.
@@ -32,7 +35,9 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	r.queue = append(r.queue, p)
-	p.parkBlocked()
+	p.parkBlocked(r.id, func() string {
+		return fmt.Sprintf("%s (in use %d/%d, %d queued)", r.id, r.inUse, r.cap, len(r.queue))
+	})
 }
 
 // Release returns one token, admitting the longest waiter if any.
@@ -41,9 +46,12 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release without Acquire")
 	}
-	if len(r.queue) > 0 {
+	for len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
+		if next.done || next.killed != "" {
+			continue // crashed while queued; the token cannot transfer
+		}
 		r.env.unblock(next)
 		return // token transfers to next
 	}

@@ -21,14 +21,16 @@ type Time = float64
 // Env is a simulation environment: a virtual clock plus an event queue.
 // The zero value is not usable; call NewEnv.
 type Env struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	live    int            // spawned processes that have not finished
-	parked  map[*Proc]bool // processes blocked with no scheduled wake-up
-	yield   chan struct{}  // running process -> scheduler handoff
-	cur     *Proc
-	stopped bool
+	now      Time
+	queue    eventHeap
+	seq      uint64
+	live     int            // spawned processes that have not finished
+	parked   map[*Proc]bool // processes blocked with no scheduled wake-up
+	yield    chan struct{}  // running process -> scheduler handoff
+	cur      *Proc
+	stopped  bool
+	resSeq   int            // id source for conds/events (stall reports)
+	failures []ProcFailure  // processes that panicked (recovered)
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -77,12 +79,21 @@ func (e *Env) At(t Time, fn func()) { e.schedule(t, fn) }
 func (e *Env) After(d Time, fn func()) { e.schedule(e.now+d, fn) }
 
 // Proc is a simulated process. Methods on Proc must only be called from the
-// process's own goroutine (i.e. inside the function passed to Spawn).
+// process's own goroutine (i.e. inside the function passed to Spawn);
+// exceptions (Env.Kill, Env.SetSlowdown) are called out explicitly.
 type Proc struct {
 	env    *Env
 	name   string
 	resume chan struct{}
 	done   bool
+	killed string  // non-empty: injected crash reason, raised at next resume
+	slow   float64 // Sleep stretch factor (stall windows); 0 or 1 = none
+
+	// Wait context, set while the process is parked with no scheduled
+	// wake-up (Event/Cond/Resource waits). Used by stall reports.
+	waitRes   string        // id or label of the resource waited on
+	waitDesc  func() string // optional richer description, evaluated lazily
+	waitSince Time
 }
 
 // Env returns the environment the process runs in.
@@ -96,19 +107,98 @@ func (p *Proc) Now() Time { return p.env.now }
 
 // Spawn creates a process that will start running fn at the current virtual
 // time (after already-scheduled events at this timestamp).
+//
+// A panic inside fn does not kill the host program: it is recovered,
+// recorded as a ProcFailure (see Env.Failures), and the process counts as
+// finished. Run surfaces recorded failures as a *CrashError.
 func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan struct{})}
 	e.live++
 	go func() {
 		<-p.resume // wait for first scheduling
+		defer func() {
+			if r := recover(); r != nil {
+				e.failures = append(e.failures, ProcFailure{Proc: p.name, Time: e.now, Cause: r})
+			}
+			p.done = true
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		p.checkKilled()
 		fn(p)
-		p.done = true
-		e.live--
-		e.yield <- struct{}{}
 	}()
 	e.push(&item{t: e.now, p: p})
 	return p
 }
+
+// checkKilled raises a pending injected crash on the process's own stack.
+func (p *Proc) checkKilled() {
+	if p.killed != "" {
+		panic(Crashed{Reason: p.killed})
+	}
+}
+
+// Crashed is the panic payload raised in a process killed by Env.Kill.
+type Crashed struct{ Reason string }
+
+func (c Crashed) Error() string { return "sim: process crashed: " + c.Reason }
+
+// Kill schedules an injected crash of p: the process panics with a Crashed
+// the next time it would run (immediately at the current virtual time if it
+// is blocked). Killing a finished or already-killed process is a no-op.
+// Unlike most process operations, Kill is called from event callbacks, not
+// from p's own goroutine.
+func (e *Env) Kill(p *Proc, reason string) {
+	if p.done || p.killed != "" {
+		return
+	}
+	if reason == "" {
+		reason = "killed"
+	}
+	p.killed = reason
+	if e.parked[p] {
+		e.unblock(p) // deliver the crash now instead of never
+	}
+	// Otherwise the process is sleeping (or not yet started) and its
+	// queued wake-up delivers the crash.
+}
+
+// SetSlowdown stretches p's subsequent Sleep durations by factor, modeling
+// a task that lost its CPU (stall windows in fault plans). Factor 0 or 1
+// clears the stall. Called from event callbacks, not from p's goroutine.
+func (e *Env) SetSlowdown(p *Proc, factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	p.slow = factor
+}
+
+// ProcFailure records a process that panicked; Cause is the recovered
+// panic value (a Crashed for injected crashes).
+type ProcFailure struct {
+	Proc  string
+	Time  Time
+	Cause any
+}
+
+// CrashError is returned by Run when one or more processes panicked.
+type CrashError struct{ Failures []ProcFailure }
+
+func (c *CrashError) Error() string {
+	parts := make([]string, len(c.Failures))
+	for i, f := range c.Failures {
+		parts[i] = fmt.Sprintf("%s at t=%.3f: %v", f.Proc, f.Time, f.Cause)
+	}
+	return "sim: " + fmt.Sprintf("%d process(es) crashed: ", len(c.Failures)) + strings.Join(parts, "; ")
+}
+
+// Failures returns the processes that panicked so far, in crash order.
+func (e *Env) Failures() []ProcFailure {
+	return append([]ProcFailure(nil), e.failures...)
+}
+
+// Live returns the number of spawned processes that have not finished.
+func (e *Env) Live() int { return e.live }
 
 // wake transfers control to p and blocks until p parks or finishes.
 func (e *Env) wake(p *Proc) {
@@ -126,12 +216,17 @@ func (e *Env) wake(p *Proc) {
 func (p *Proc) park() {
 	p.env.yield <- struct{}{}
 	<-p.resume
+	p.checkKilled()
 }
 
 // Sleep advances the process by d virtual time (negative d counts as zero).
+// An active slowdown (Env.SetSlowdown) stretches d.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
+	}
+	if p.slow > 1 {
+		d *= p.slow
 	}
 	p.env.push(&item{t: p.env.now + d, p: p})
 	p.park()
@@ -141,32 +236,83 @@ func (p *Proc) Sleep(d Time) {
 // already-scheduled work at this timestamp run first.
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// Park blocks the process indefinitely; something else must hold a
+// parkBlocked blocks the process indefinitely; something else must hold a
 // reference and wake it via an Event or Cond. Used by synchronization
-// primitives in this package.
-func (p *Proc) parkBlocked() {
+// primitives in this package. res identifies the resource waited on and
+// desc (optional) provides a richer description; both feed stall reports.
+func (p *Proc) parkBlocked(res string, desc func() string) {
 	p.env.parked[p] = true
+	p.waitRes = res
+	p.waitDesc = desc
+	p.waitSince = p.env.now
 	p.park()
+	p.waitRes = ""
+	p.waitDesc = nil
 }
 
 func (e *Env) unblock(p *Proc) {
 	if !e.parked[p] {
+		if p.done || p.killed != "" {
+			// Stale waiter entry: the process crashed or was killed while
+			// on a waiters list. Nothing to wake.
+			return
+		}
 		panic("sim: unblock of process that is not parked: " + p.name)
 	}
 	delete(e.parked, p)
 	e.push(&item{t: e.now, p: p})
 }
 
+// BlockedProc is a snapshot of one process blocked with no scheduled
+// wake-up: its name, when it parked, and what it waits on.
+type BlockedProc struct {
+	Name     string
+	Since    Time   // virtual time the process parked
+	Resource string // id or label of the cond/event/resource waited on
+	Waiting  string // human-readable wait context
+}
+
+// Blocked returns a snapshot of every parked process, sorted by name. It
+// is valid at any point the scheduler is in control (between events, after
+// Run or RunUntil return) and backs stall and deadlock reports.
+func (e *Env) Blocked() []BlockedProc {
+	out := make([]BlockedProc, 0, len(e.parked))
+	for p := range e.parked {
+		b := BlockedProc{Name: p.name, Since: p.waitSince, Resource: p.waitRes}
+		if p.waitDesc != nil {
+			b.Waiting = p.waitDesc()
+		} else {
+			b.Waiting = p.waitRes
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// resID assigns a deterministic id to a synchronization resource.
+func (e *Env) resID(kind string) string {
+	e.resSeq++
+	return fmt.Sprintf("%s#%d", kind, e.resSeq)
+}
+
 // Event is a one-shot occurrence processes can wait on. After Trigger,
 // waiting is a no-op. The zero value is not usable; use Env.NewEvent.
 type Event struct {
 	env     *Env
+	id      string
 	done    bool
 	waiters []*Proc
 }
 
 // NewEvent returns an untriggered event.
-func (e *Env) NewEvent() *Event { return &Event{env: e} }
+func (e *Env) NewEvent() *Event { return &Event{env: e, id: e.resID("event")} }
+
+// Named sets a human-readable label used in stall reports and returns ev.
+func (ev *Event) Named(name string) *Event { ev.id = name; return ev }
+
+// ID returns the event's id or label.
+func (ev *Event) ID() string { return ev.id }
 
 // Done reports whether the event has been triggered.
 func (ev *Event) Done() bool { return ev.done }
@@ -193,7 +339,7 @@ func (p *Proc) Wait(ev *Event) {
 		return
 	}
 	ev.waiters = append(ev.waiters, p)
-	p.parkBlocked()
+	p.parkBlocked(ev.id, nil)
 }
 
 // WaitAll blocks until every event has been triggered.
@@ -207,16 +353,27 @@ func (p *Proc) WaitAll(evs ...*Event) {
 // Unlike Event it can be signalled repeatedly.
 type Cond struct {
 	env     *Env
+	id      string
 	waiters []*Proc
 }
 
 // NewCond returns a condition bound to the environment.
-func (e *Env) NewCond() *Cond { return &Cond{env: e} }
+func (e *Env) NewCond() *Cond { return &Cond{env: e, id: e.resID("cond")} }
+
+// Named sets a human-readable label used in stall reports and returns c.
+func (c *Cond) Named(name string) *Cond { c.id = name; return c }
+
+// ID returns the condition's id or label.
+func (c *Cond) ID() string { return c.id }
 
 // Wait blocks the process until the next Broadcast.
-func (c *Cond) Wait(p *Proc) {
+func (c *Cond) Wait(p *Proc) { c.WaitReason(p, nil) }
+
+// WaitReason is Wait with a description of what the process waits for,
+// evaluated lazily if the wait ends up in a stall or deadlock report.
+func (c *Cond) WaitReason(p *Proc, desc func() string) {
 	c.waiters = append(c.waiters, p)
-	p.parkBlocked()
+	p.parkBlocked(c.id, desc)
 }
 
 // Broadcast wakes every currently waiting process at the current time.
@@ -236,28 +393,71 @@ func (c *Cond) WaitUntil(p *Proc, pred func() bool) {
 }
 
 // DeadlockError is returned by Run when processes remain blocked after the
-// event queue drains.
+// event queue drains. Beyond the blocked names it carries per-process wait
+// context (Procs) and a wait-graph snapshot mapping each resource to the
+// processes parked on it, so a silent hang reads as a structured report.
 type DeadlockError struct {
-	Time    Time
-	Blocked []string
+	Time      Time
+	Blocked   []string            // blocked process names, sorted
+	Procs     []BlockedProc       // per-process wait context, sorted by name
+	WaitGraph map[string][]string // resource id/label -> waiting process names
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%.3f: %d blocked: %s",
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at t=%.3f: %d blocked: %s",
 		d.Time, len(d.Blocked), strings.Join(d.Blocked, ", "))
+	for _, p := range d.Procs {
+		fmt.Fprintf(&b, "\n  %s: waiting on %s (blocked since t=%.3f)", p.Name, p.Waiting, p.Since)
+	}
+	return b.String()
 }
 
-// Run executes events until the queue is empty. If live processes remain
-// blocked at that point, it returns a *DeadlockError naming them.
+// deadlock builds the structured report from the current parked set.
+func (e *Env) deadlock() *DeadlockError {
+	procs := e.Blocked()
+	d := &DeadlockError{Time: e.now, Procs: procs, WaitGraph: make(map[string][]string)}
+	for _, p := range procs {
+		d.Blocked = append(d.Blocked, p.Name)
+		res := p.Resource
+		if res == "" {
+			res = "(unknown)"
+		}
+		d.WaitGraph[res] = append(d.WaitGraph[res], p.Name)
+	}
+	return d
+}
+
+// Run executes events until the queue is empty. If any process panicked it
+// returns a *CrashError; otherwise, if live processes remain blocked, a
+// *DeadlockError naming them.
 func (e *Env) Run() error { return e.RunUntil(-1) }
 
 // RunUntil executes events with timestamps <= limit (limit < 0 means no
-// limit). It returns a *DeadlockError if the queue drains while processes
-// remain blocked and no limit stopped the run early.
+// limit).
+//
+// Limit semantics: when the limit stops the run early, RunUntil normally
+// returns nil — events beyond the limit may still make progress, and the
+// caller can resume with another RunUntil or Run call, or inspect parked
+// processes via Blocked. However, if every remaining queued event is
+// impotent (a wake-up of an already-finished process) while live processes
+// remain blocked, no amount of further running can wake them, and RunUntil
+// returns a *DeadlockError instead of nil. Pending callbacks are
+// conservatively treated as able to make progress, since they may trigger
+// events or broadcast conditions.
+//
+// Process panics recovered during the run surface as a *CrashError, which
+// takes precedence over deadlock reporting (the crash is the root cause).
 func (e *Env) RunUntil(limit Time) error {
 	for e.queue.Len() > 0 {
 		it := e.queue[0]
 		if limit >= 0 && it.t > limit {
+			if len(e.failures) > 0 {
+				return &CrashError{Failures: e.Failures()}
+			}
+			if e.live > 0 && !e.anyPotentialProgress() {
+				return e.deadlock()
+			}
 			return nil
 		}
 		heap.Pop(&e.queue)
@@ -268,13 +468,23 @@ func (e *Env) RunUntil(limit Time) error {
 		}
 		e.wake(it.p)
 	}
+	if len(e.failures) > 0 {
+		return &CrashError{Failures: e.Failures()}
+	}
 	if e.live > 0 {
-		names := make([]string, 0, len(e.parked))
-		for p := range e.parked {
-			names = append(names, p.name)
-		}
-		sort.Strings(names)
-		return &DeadlockError{Time: e.now, Blocked: names}
+		return e.deadlock()
 	}
 	return nil
+}
+
+// anyPotentialProgress reports whether any queued event could still change
+// simulation state: a callback (opaque, assumed potent) or a wake-up of a
+// process that has not finished.
+func (e *Env) anyPotentialProgress() bool {
+	for _, it := range e.queue {
+		if it.fn != nil || (it.p != nil && !it.p.done) {
+			return true
+		}
+	}
+	return false
 }

@@ -32,6 +32,12 @@ type Stats struct {
 	Deferrals  int // deliveries deferred until the target entered an RMA call
 	Starves    int // deliveries delayed by non-yielding spinners
 
+	// Fault injection and reliable delivery (internal/fault, internal/rma).
+	Drops          int // wire puts lost to injected faults
+	Retries        int // reliable-mode retransmissions
+	DupsSuppressed int // duplicate deliveries suppressed by sequence dedup
+	AckTimeouts    int // reliable-mode ack timers that expired
+
 	// MPI point-to-point traffic (baselines).
 	MPISends    int
 	MPIBytes    int64
@@ -109,6 +115,10 @@ func (s Stats) Sub(o Stats) Stats {
 		Interrupts:    s.Interrupts - o.Interrupts,
 		Deferrals:     s.Deferrals - o.Deferrals,
 		Starves:       s.Starves - o.Starves,
+		Drops:          s.Drops - o.Drops,
+		Retries:        s.Retries - o.Retries,
+		DupsSuppressed: s.DupsSuppressed - o.DupsSuppressed,
+		AckTimeouts:    s.AckTimeouts - o.AckTimeouts,
 		MPISends:      s.MPISends - o.MPISends,
 		MPIBytes:      s.MPIBytes - o.MPIBytes,
 		EagerSends:    s.EagerSends - o.EagerSends,
@@ -133,6 +143,8 @@ func (s Stats) String() string {
 		{"gets", int64(s.Gets)}, {"getBytes", s.GetBytes},
 		{"activeMsgs", int64(s.ActiveMsgs)}, {"interrupts", int64(s.Interrupts)},
 		{"deferrals", int64(s.Deferrals)}, {"starves", int64(s.Starves)},
+		{"drops", int64(s.Drops)}, {"retries", int64(s.Retries)},
+		{"dupsSuppressed", int64(s.DupsSuppressed)}, {"ackTimeouts", int64(s.AckTimeouts)},
 		{"mpiSends", int64(s.MPISends)}, {"mpiBytes", s.MPIBytes},
 		{"eager", int64(s.EagerSends)}, {"rndv", int64(s.RndvSends)},
 		{"unexpected", int64(s.Unexpected)}, {"mpiShmSends", int64(s.MPIShmSends)},

@@ -22,11 +22,14 @@
 package srmcoll
 
 import (
+	"errors"
 	"fmt"
 
 	"srmcoll/internal/baseline"
+	"srmcoll/internal/check"
 	"srmcoll/internal/core"
 	"srmcoll/internal/dtype"
+	"srmcoll/internal/fault"
 	"srmcoll/internal/machine"
 	"srmcoll/internal/rma"
 	"srmcoll/internal/sim"
@@ -118,11 +121,74 @@ const (
 	Fibonacci = tree.Fibonacci
 )
 
+// FaultPlan describes deterministic fault injection for a run: seeded
+// per-channel put drop/duplicate/delay faults, interrupt storms, per-task
+// stall windows, scheduled task crashes, the reliable-delivery mode that
+// lets the SRM protocols survive them, and a virtual-time deadline that
+// turns unbounded hangs into stall reports. The zero value injects nothing
+// and leaves every run bit-identical to the default path. See
+// internal/fault for field documentation.
+type FaultPlan = fault.Plan
+
+// ChannelFault, Storm, Stall and Crash are the FaultPlan building blocks.
+type (
+	ChannelFault = fault.ChannelFault
+	Storm        = fault.Storm
+	Stall        = fault.Stall
+	Crash        = fault.Crash
+)
+
+// FaultSummary counts the faults actually injected during a run.
+type FaultSummary = fault.Summary
+
+// BlockedProc describes one process blocked with no scheduled wake-up:
+// name, park time, and what it waits on.
+type BlockedProc = sim.BlockedProc
+
+// DeadlockError is returned by Run when the simulation can make no further
+// progress while ranks remain blocked — for example when ranks disagree on
+// the sequence of collective calls. It lists each blocked process with its
+// wait context and a wait-graph snapshot.
+type DeadlockError = sim.DeadlockError
+
+// RunError reports a rank whose Run body failed: a buffer-validation
+// panic, an injected crash, or any other panic inside the body. The
+// simulation's other ranks keep running; the host program never sees the
+// panic itself.
+type RunError struct {
+	Rank  int    // the rank that failed
+	Op    string // best-effort operation context (e.g. "core.Gather", "crash")
+	Cause error  // the recovered failure
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("srmcoll: rank %d failed in %s: %v", e.Rank, e.Op, e.Cause)
+}
+
+func (e *RunError) Unwrap() error { return e.Cause }
+
+// StallError is returned by Run when a FaultPlan deadline expires with
+// ranks still running: the watchdog report for runs that would otherwise
+// hang (or retransmit) forever.
+type StallError struct {
+	Time    float64       // virtual time the deadline stopped the run
+	Blocked []BlockedProc // parked processes and what they wait on
+}
+
+func (e *StallError) Error() string {
+	s := fmt.Sprintf("srmcoll: run stalled at deadline t=%.3f: %d blocked", e.Time, len(e.Blocked))
+	for _, b := range e.Blocked {
+		s += fmt.Sprintf("\n  %s: waiting on %s (blocked since t=%.3f)", b.Name, b.Waiting, b.Since)
+	}
+	return s
+}
+
 // Cluster is a reusable description of a simulated machine. Each Run builds
 // a fresh deterministic simulation of it.
 type Cluster struct {
 	cfg     Config
 	variant Variant
+	faults  FaultPlan
 }
 
 // NewCluster validates the configuration and returns a cluster handle.
@@ -136,14 +202,23 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // SetVariant overrides SRM algorithm choices for subsequent runs.
 func (cl *Cluster) SetVariant(v Variant) { cl.variant = v }
 
+// SetFaultPlan installs a fault plan for subsequent runs. The zero-value
+// plan restores the default fault-free path (bit-identical to not calling
+// SetFaultPlan at all). The plan is validated at Run time.
+func (cl *Cluster) SetFaultPlan(p FaultPlan) { cl.faults = p }
+
+// FaultPlan returns the cluster's current fault plan.
+func (cl *Cluster) FaultPlan() FaultPlan { return cl.faults }
+
 // Config returns the cluster configuration.
 func (cl *Cluster) Config() Config { return cl.cfg }
 
 // Result reports one SPMD run.
 type Result struct {
-	Time    float64     // virtual microseconds until the last rank finished
-	PerRank []float64   // per-rank completion times
-	Stats   trace.Stats // data-movement and protocol counters
+	Time    float64      // virtual microseconds until the last rank finished
+	PerRank []float64    // per-rank completion times
+	Stats   trace.Stats  // data-movement and protocol counters
+	Faults  FaultSummary // faults actually injected (zero without a plan)
 }
 
 // Comm is a rank's handle inside a Run body: its identity plus the
@@ -488,13 +563,32 @@ func (sc *SharedCounter) CompareAndSwap(c *Comm, expect, v int64) int64 {
 }
 
 // Run executes body on every rank of a fresh simulation of the cluster
-// using the chosen implementation, and reports timing and traffic. It
-// returns an error if the simulation deadlocks (for example when ranks
-// disagree on the sequence of collective calls).
+// using the chosen implementation, and reports timing and traffic.
+//
+// Error reporting is structured:
+//
+//   - a panic inside body (buffer validation, an injected crash) is
+//     recovered and returned as a *RunError naming the rank — the host
+//     program never panics;
+//   - a simulation that can make no further progress returns a
+//     *DeadlockError listing each blocked rank and what it waits on;
+//   - a run stopped by a FaultPlan deadline returns a *StallError with the
+//     same blocked-rank report.
 func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
+	if err := cl.faults.Validate(cl.cfg.P()); err != nil {
+		return nil, err
+	}
 	env := sim.NewEnv()
 	m := machine.New(env, cl.cfg)
+	var inj *fault.Injector
+	if cl.faults.Active() {
+		inj = fault.New(cl.faults)
+		m.Faults = inj
+	}
 	dom := rma.NewDomain(m)
+	if cl.faults.Reliable {
+		dom.EnableReliable(cl.faults.AckTimeout, cl.faults.BackoffCap)
+	}
 	var coll collectives
 	switch impl {
 	case SRM:
@@ -513,16 +607,40 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	}
 	counters := make(map[string]*SharedCounter)
 	res := &Result{PerRank: make([]float64, m.P())}
+	procs := make([]*sim.Proc, m.P())
+	rankOf := make(map[string]int, m.P())
+	// Schedule fault callbacks before spawning the ranks so a window opening
+	// at t=0 is already in force when the first rank runs. The closures index
+	// procs at fire time; the slice is fully populated before the run starts.
+	if inj != nil {
+		cl.scheduleFaults(env, inj, procs)
+	}
 	for r := 0; r < m.P(); r++ {
 		r := r
-		env.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+		name := fmt.Sprintf("rank%d", r)
+		rankOf[name] = r
+		procs[r] = env.Spawn(name, func(p *sim.Proc) {
 			body(&Comm{p: p, rank: r, size: m.P(), m: m, dom: dom,
 				counters: counters, coll: coll})
 			res.PerRank[r] = p.Now()
 		})
 	}
-	if err := env.Run(); err != nil {
-		return nil, err
+
+	var runErr error
+	if cl.faults.Deadline > 0 {
+		runErr = env.RunUntil(cl.faults.Deadline)
+		if runErr == nil && env.Live() > 0 {
+			runErr = &StallError{Time: env.Now(), Blocked: env.Blocked()}
+		}
+	} else {
+		runErr = env.Run()
+	}
+	if runErr != nil {
+		var ce *sim.CrashError
+		if errors.As(runErr, &ce) {
+			return nil, runErrorFrom(ce.Failures[0], rankOf)
+		}
+		return nil, runErr
 	}
 	for _, t := range res.PerRank {
 		if t > res.Time {
@@ -530,5 +648,46 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 		}
 	}
 	res.Stats = *m.Stats
+	if inj != nil {
+		res.Faults = inj.Summary()
+	}
 	return res, nil
+}
+
+// scheduleFaults wires the plan's crashes and stall windows to the spawned
+// rank processes.
+func (cl *Cluster) scheduleFaults(env *sim.Env, inj *fault.Injector, procs []*sim.Proc) {
+	for _, cr := range cl.faults.Crashes {
+		cr := cr
+		env.At(cr.At, func() {
+			inj.CountCrash()
+			env.Kill(procs[cr.Rank], fmt.Sprintf("injected crash of rank %d at t=%.3f", cr.Rank, cr.At))
+		})
+	}
+	for _, st := range cl.faults.Stalls {
+		st := st
+		env.At(st.From, func() {
+			inj.CountStall()
+			env.SetSlowdown(procs[st.Rank], st.Factor)
+		})
+		env.At(st.Until, func() { env.SetSlowdown(procs[st.Rank], 1) })
+	}
+}
+
+// runErrorFrom converts a recovered process failure into a *RunError.
+func runErrorFrom(f sim.ProcFailure, rankOf map[string]int) *RunError {
+	re := &RunError{Rank: rankOf[f.Proc], Op: "run"}
+	switch cause := f.Cause.(type) {
+	case *check.SizeError:
+		re.Op = cause.Op
+		re.Cause = cause
+	case sim.Crashed:
+		re.Op = "crash"
+		re.Cause = cause
+	case error:
+		re.Cause = cause
+	default:
+		re.Cause = fmt.Errorf("%v", cause)
+	}
+	return re
 }

@@ -1,0 +1,359 @@
+package srmcoll
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// faultProbeBody runs a representative mix of SRM collectives and records
+// every payload a rank ends up with into out[rank], so two runs can be
+// compared byte-for-byte.
+func faultProbeBody(out [][]byte) func(*Comm) {
+	return func(c *Comm) {
+		rank, P := c.Rank(), c.Size()
+
+		bcast := make([]byte, 1536)
+		if rank == 0 {
+			for i := range bcast {
+				bcast[i] = byte(i*7 + 3)
+			}
+		}
+		c.Bcast(bcast, 0)
+
+		vals := make([]int64, 128)
+		for i := range vals {
+			vals[i] = int64(rank+1) * int64(i+3)
+		}
+		send := Int64Bytes(vals)
+		red := make([]byte, len(send))
+		c.Reduce(send, red, Int64, Sum, 1%P)
+
+		allred := make([]byte, len(send))
+		c.Allreduce(send, allred, Int64, Sum)
+
+		c.Barrier()
+
+		buf := append([]byte(nil), bcast...)
+		buf = append(buf, red...)
+		buf = append(buf, allred...)
+		out[rank] = buf
+	}
+}
+
+func TestSRMSurvivesPutDrops(t *testing.T) {
+	clean := mustCluster(t, 4, 2)
+	outClean := make([][]byte, 8)
+	resClean, err := clean.Run(SRM, faultProbeBody(outClean))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := mustCluster(t, 4, 2)
+	faulty.SetFaultPlan(FaultPlan{
+		Seed:     7,
+		Drop:     0.1,
+		Dup:      0.05,
+		Delay:    0.05,
+		DelayMax: 20,
+		Reliable: true,
+	})
+	outFaulty := make([][]byte, 8)
+	resFaulty, err := faulty.Run(SRM, faultProbeBody(outFaulty))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for r := range outClean {
+		if !bytes.Equal(outClean[r], outFaulty[r]) {
+			t.Errorf("rank %d: payloads differ between clean and faulty run", r)
+		}
+	}
+	if resFaulty.Faults.PutDrops == 0 {
+		t.Fatal("no puts were dropped; the fault plan did nothing")
+	}
+	if resFaulty.Stats.Drops == 0 || resFaulty.Stats.Retries == 0 {
+		t.Fatalf("Stats.Drops = %d, Stats.Retries = %d; want both > 0",
+			resFaulty.Stats.Drops, resFaulty.Stats.Retries)
+	}
+	if resFaulty.Stats.AckTimeouts < resFaulty.Stats.Retries {
+		t.Fatalf("AckTimeouts = %d < Retries = %d", resFaulty.Stats.AckTimeouts, resFaulty.Stats.Retries)
+	}
+	if resFaulty.Time <= resClean.Time {
+		t.Errorf("faulty run (%.3f) not slower than clean run (%.3f)", resFaulty.Time, resClean.Time)
+	}
+	for _, key := range []string{"drops=", "retries="} {
+		if !strings.Contains(resFaulty.Stats.String(), key) {
+			t.Errorf("Stats.String() missing %q: %s", key, resFaulty.Stats.String())
+		}
+	}
+}
+
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	plan := FaultPlan{
+		Seed:     1234,
+		Drop:     0.08,
+		Dup:      0.04,
+		Delay:    0.1,
+		DelayMax: 15,
+		AckDrop:  0.05,
+		Reliable: true,
+		Storms:   []Storm{{Node: 1, From: 0, Until: 5000, Extra: 25}},
+		Stalls:   []Stall{{Rank: 2, From: 0, Until: 100000, Factor: 2}},
+	}
+	run := func() (*Result, [][]byte) {
+		cl := mustCluster(t, 4, 2)
+		cl.SetFaultPlan(plan)
+		out := make([][]byte, 8)
+		res, err := cl.Run(SRM, faultProbeBody(out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, out
+	}
+	r1, out1 := run()
+	r2, out2 := run()
+	if r1.Time != r2.Time {
+		t.Fatalf("Time differs: %v vs %v", r1.Time, r2.Time)
+	}
+	if !reflect.DeepEqual(r1.PerRank, r2.PerRank) {
+		t.Fatalf("PerRank differs:\n%v\n%v", r1.PerRank, r2.PerRank)
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatalf("Stats differ:\n%+v\n%+v", r1.Stats, r2.Stats)
+	}
+	if r1.Faults != r2.Faults {
+		t.Fatalf("Faults differ: %v vs %v", r1.Faults, r2.Faults)
+	}
+	for r := range out1 {
+		if !bytes.Equal(out1[r], out2[r]) {
+			t.Fatalf("rank %d payload differs between identical runs", r)
+		}
+	}
+	// A different seed must change the injected-fault trace.
+	plan.Seed = 99
+	cl := mustCluster(t, 4, 2)
+	cl.SetFaultPlan(plan)
+	out := make([][]byte, 8)
+	r3, err := cl.Run(SRM, faultProbeBody(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Faults == r1.Faults && r3.Time == r1.Time {
+		t.Fatal("changing the seed changed nothing")
+	}
+}
+
+func TestZeroFaultPlanBitIdentical(t *testing.T) {
+	c1 := mustCluster(t, 2, 4)
+	out1 := make([][]byte, 8)
+	r1, err := c1.Run(SRM, faultProbeBody(out1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustCluster(t, 2, 4)
+	c2.SetFaultPlan(FaultPlan{}) // explicit zero plan must be a no-op
+	out2 := make([][]byte, 8)
+	r2, err := c2.Run(SRM, faultProbeBody(out2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time || !reflect.DeepEqual(r1.PerRank, r2.PerRank) || r1.Stats != r2.Stats {
+		t.Fatalf("zero-value plan changed the run:\n%+v\n%+v", r1, r2)
+	}
+	if r2.Faults != (FaultSummary{}) {
+		t.Fatalf("Faults = %v, want zero", r2.Faults)
+	}
+	for r := range out1 {
+		if !bytes.Equal(out1[r], out2[r]) {
+			t.Fatalf("rank %d payload differs under zero-value plan", r)
+		}
+	}
+}
+
+func TestInjectedCrashYieldsRunError(t *testing.T) {
+	cl := mustCluster(t, 2, 2)
+	cl.SetFaultPlan(FaultPlan{Crashes: []Crash{{Rank: 3, At: 5}}})
+	res, err := cl.Run(SRM, func(c *Comm) {
+		c.Compute(10)
+		c.Barrier()
+	})
+	if res != nil {
+		t.Fatal("crashed run returned a result")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("Run() = %v, want *RunError", err)
+	}
+	if re.Rank != 3 || re.Op != "crash" {
+		t.Fatalf("RunError = %+v, want Rank 3 Op crash", re)
+	}
+	if !strings.Contains(re.Error(), "rank 3") || !strings.Contains(re.Error(), "crash") {
+		t.Fatalf("message = %q", re.Error())
+	}
+}
+
+func TestDeadlockReportsBlockedRanks(t *testing.T) {
+	cl := mustCluster(t, 2, 2)
+	_, err := cl.Run(SRM, func(c *Comm) {
+		if c.Rank() != 0 {
+			c.Barrier() // rank 0 never arrives
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run() = %v, want *DeadlockError", err)
+	}
+	if len(de.Procs) == 0 || len(de.WaitGraph) == 0 {
+		t.Fatalf("report missing wait context: %+v", de)
+	}
+	for _, p := range de.Procs {
+		if p.Waiting == "" {
+			t.Errorf("%s has empty wait context", p.Name)
+		}
+	}
+	joined := strings.Join(de.Blocked, ",")
+	if !strings.Contains(joined, "rank1") {
+		t.Fatalf("Blocked = %v, want rank1 listed", de.Blocked)
+	}
+	if strings.Contains(joined, "rank0") {
+		t.Fatalf("Blocked = %v, rank0 finished and must not be listed", de.Blocked)
+	}
+}
+
+func TestDeadlineProducesStallReport(t *testing.T) {
+	cl := mustCluster(t, 2, 1)
+	cl.SetFaultPlan(FaultPlan{Seed: 1, Drop: 1, Reliable: true, Deadline: 20000})
+	res, err := cl.Run(SRM, func(c *Comm) {
+		buf := make([]byte, 256)
+		c.Bcast(buf, 0)
+	})
+	if res != nil {
+		t.Fatal("stalled run returned a result")
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("Run() = %v, want *StallError", err)
+	}
+	if len(se.Blocked) == 0 {
+		t.Fatal("stall report lists no blocked processes")
+	}
+	if !strings.Contains(se.Error(), "stalled") || !strings.Contains(se.Error(), "waiting on") {
+		t.Fatalf("message = %q", se.Error())
+	}
+}
+
+func TestStallWindowSlowsRank(t *testing.T) {
+	body := func(c *Comm) {
+		c.Compute(100)
+		c.Barrier()
+	}
+	clean := mustCluster(t, 2, 2)
+	rClean, err := clean.Run(SRM, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled := mustCluster(t, 2, 2)
+	stalled.SetFaultPlan(FaultPlan{Stalls: []Stall{{Rank: 1, From: 0, Until: 1e6, Factor: 3}}})
+	rStalled, err := stalled.Run(SRM, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rStalled.Time < rClean.Time+150 {
+		t.Fatalf("stalled run %.3f, clean %.3f: 3x stall of rank 1's 100us compute not visible",
+			rStalled.Time, rClean.Time)
+	}
+	if rStalled.Faults.Stalls != 1 {
+		t.Fatalf("Faults.Stalls = %d, want 1", rStalled.Faults.Stalls)
+	}
+}
+
+func TestInterruptStormSlowsDelivery(t *testing.T) {
+	body := func(c *Comm) {
+		buf := make([]byte, 1024)
+		c.Bcast(buf, 0)
+	}
+	clean := mustCluster(t, 2, 1)
+	rClean, err := clean.Run(SRM, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stormy := mustCluster(t, 2, 1)
+	stormy.SetFaultPlan(FaultPlan{Storms: []Storm{{Node: 1, From: 0, Until: 1e6, Extra: 50}}})
+	rStormy, err := stormy.Run(SRM, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rStormy.Faults.StormHits == 0 {
+		t.Fatal("storm never hit a delivery")
+	}
+	if rStormy.Time <= rClean.Time {
+		t.Fatalf("stormy run %.3f not slower than clean %.3f", rStormy.Time, rClean.Time)
+	}
+}
+
+func TestWrongBufferSizeIsRunError(t *testing.T) {
+	for _, tc := range []struct {
+		impl Impl
+		op   string
+	}{
+		{SRM, "core.Gather"},
+		{IBMMPI, "baseline.Gather"},
+	} {
+		cl := mustCluster(t, 2, 2)
+		_, err := cl.Run(tc.impl, func(c *Comm) {
+			send := make([]byte, 64)
+			var recv []byte
+			if c.Rank() == 0 {
+				recv = make([]byte, 10) // want 4*64
+			}
+			c.Gather(send, recv, 0)
+		})
+		var re *RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("%v: Run() = %v, want *RunError", tc.impl, err)
+		}
+		if re.Rank != 0 || re.Op != tc.op {
+			t.Fatalf("%v: RunError = %+v, want Rank 0 Op %s", tc.impl, re, tc.op)
+		}
+		if !strings.Contains(re.Error(), "recv buffer is 10 bytes, want 256") {
+			t.Fatalf("%v: message = %q", tc.impl, re.Error())
+		}
+	}
+}
+
+func TestFaultPlanValidationRejected(t *testing.T) {
+	for _, plan := range []FaultPlan{
+		{Drop: 1.5},
+		{Dup: -0.1},
+		{Crashes: []Crash{{Rank: 99, At: 1}}},
+		{Stalls: []Stall{{Rank: 0, Factor: 0.5}}},
+		{Channels: []ChannelFault{{Src: -2, Dst: 0}}},
+	} {
+		cl := mustCluster(t, 2, 2)
+		cl.SetFaultPlan(plan)
+		if _, err := cl.Run(SRM, func(*Comm) {}); err == nil {
+			t.Errorf("plan %+v accepted", plan)
+		}
+	}
+}
+
+func TestUnreliableDropDeadlocksWithContext(t *testing.T) {
+	// Without reliable mode a dropped put is lost forever; the run must not
+	// hang silently but report who is stuck on what.
+	cl := mustCluster(t, 2, 1)
+	cl.SetFaultPlan(FaultPlan{Seed: 3, Drop: 1})
+	_, err := cl.Run(SRM, func(c *Comm) {
+		buf := make([]byte, 256)
+		c.Bcast(buf, 0)
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run() = %v, want *DeadlockError", err)
+	}
+	if len(de.Procs) == 0 {
+		t.Fatal("deadlock report has no blocked-process context")
+	}
+}
