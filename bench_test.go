@@ -15,6 +15,7 @@ import (
 // benchOp drives b.N collective calls on a fresh cluster simulation.
 func benchOp(b *testing.B, impl Impl, nodes, tpn, size int, op func(*Comm, []byte, []byte)) {
 	b.Helper()
+	b.ReportAllocs()
 	cl, err := NewCluster(ColonySP(nodes, tpn))
 	if err != nil {
 		b.Fatal(err)
@@ -31,6 +32,16 @@ func benchOp(b *testing.B, impl Impl, nodes, tpn, size int, op func(*Comm, []byt
 	}
 	b.ReportMetric(res.Time/float64(b.N), "sim-us/op")
 	b.ReportMetric(float64(res.Stats.PutBytes+res.Stats.MPIBytes)/float64(b.N), "comm-B/op")
+	reportEventRate(b, res)
+}
+
+// reportEventRate reports the simulator's wall-clock event throughput — the
+// number the hot-path optimizations move, independent of virtual time.
+func reportEventRate(b *testing.B, res *Result) {
+	b.Helper()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(res.Events)/secs, "events/sec")
+	}
 }
 
 func bcastOp(c *Comm, send, _ []byte) { c.Bcast(send, 0) }
@@ -141,6 +152,7 @@ func BenchmarkAblationTreeKinds(b *testing.B) {
 	for _, k := range kinds {
 		k := k
 		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cl, err := NewCluster(ColonySP(4, 16))
 			if err != nil {
 				b.Fatal(err)
@@ -156,6 +168,7 @@ func BenchmarkAblationTreeKinds(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(res.Time/float64(b.N), "sim-us/op")
+			reportEventRate(b, res)
 		})
 	}
 }
@@ -169,6 +182,7 @@ func BenchmarkAblationSMPBcast(b *testing.B) {
 	}{{"flat", Variant{}}, {"tree", Variant{TreeSMPBcst: true}}} {
 		variant := variant
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cl, err := NewCluster(ColonySP(1, 16))
 			if err != nil {
 				b.Fatal(err)
@@ -184,6 +198,7 @@ func BenchmarkAblationSMPBcast(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(res.Time/float64(b.N), "sim-us/op")
+			reportEventRate(b, res)
 		})
 	}
 }
@@ -219,6 +234,7 @@ func BenchmarkExtensionCollectives(b *testing.B) {
 		op := op
 		b.Run(op.name, func(b *testing.B) {
 			allImpls(b, func(b *testing.B, impl Impl) {
+				b.ReportAllocs()
 				cl, err := NewCluster(ColonySP(4, 16))
 				if err != nil {
 					b.Fatal(err)
@@ -232,6 +248,7 @@ func BenchmarkExtensionCollectives(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ReportMetric(res.Time/float64(b.N), "sim-us/op")
+				reportEventRate(b, res)
 			})
 		})
 	}

@@ -10,12 +10,16 @@
 //	srmbench -ablation trees # design-choice ablations (see DESIGN.md)
 //	srmbench -quick          # scaled-down grid for a fast smoke run
 //	srmbench -csv            # CSV instead of aligned text
+//	srmbench -j 8            # sweep worker count (output identical to -j 1)
+//	srmbench -benchjson F    # write the perf-regression report to F
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"srmcoll"
 	"srmcoll/internal/exp"
@@ -30,11 +34,31 @@ func main() {
 	quick := flag.Bool("quick", false, "use a scaled-down sweep")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	charts := flag.Bool("plot", false, "render figures as terminal charts in addition to tables")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
+		"concurrent sweep workers; results are byte-identical at any value (1 = serial)")
+	benchjson := flag.String("benchjson", "",
+		"run the fixed perf-regression basket and write the JSON report to this file")
 	flag.Parse()
 
-	if *fig == "" && !*headline && *ablation == "" && !*extension {
+	if *fig == "" && !*headline && *ablation == "" && !*extension && *benchjson == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	exp.SetWorkers(*jobs)
+
+	if *benchjson != "" {
+		rep := exp.RunPerf()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchjson, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchjson)
 	}
 	g := exp.DefaultGrid()
 	if *quick {

@@ -1,0 +1,95 @@
+// Package bufpool provides size-classed byte-buffer pooling for transient
+// payload copies inside one simulation (put payload snapshots, eager-send
+// copies). A pool belongs to a single sim.Env and is therefore
+// single-threaded by construction — the DES runs one process at a time — so
+// there is no locking and recycling order is deterministic.
+//
+// Determinism argument: a Get(n) buffer is always fully overwritten with
+// exactly n payload bytes before any reader sees it, and readers only read
+// those n bytes (len, not cap). Stale bytes beyond len are unreachable, so
+// reusing a buffer cannot change any simulated outcome — only the number of
+// host allocations.
+package bufpool
+
+import "math/bits"
+
+const (
+	// minClass is the smallest pooled class; tiny control payloads (flag
+	// words, header words) round up to it.
+	minClass = 64
+	// maxClass bounds pooling at the largest message the experiment grid
+	// uses (8 MB). Larger requests are allocated directly and dropped on
+	// Put rather than retained.
+	maxClass = 8 << 20
+)
+
+// Pool recycles byte slices in power-of-two size classes. The zero value is
+// not usable; call New.
+type Pool struct {
+	classes [][][]byte // per-class free lists; index by classIndex
+	gets    uint64
+	hits    uint64
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{classes: make([][][]byte, classIndex(maxClass)+1)}
+}
+
+// classIndex maps a size to its class slot: ceil(log2(max(size, minClass)))
+// minus log2(minClass).
+func classIndex(n int) int {
+	if n <= minClass {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - bits.Len(uint(minClass-1))
+}
+
+// classSize returns the capacity of buffers in class i.
+func classSize(i int) int { return minClass << i }
+
+// Get returns a slice of length n backed by a pooled (or fresh) buffer of
+// n's size class. Contents are unspecified; callers must overwrite all n
+// bytes before anything reads the slice. n > 8 MB falls back to a plain
+// allocation that will not be retained.
+func (p *Pool) Get(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	p.gets++
+	if n > maxClass {
+		return make([]byte, n)
+	}
+	i := classIndex(n)
+	if list := p.classes[i]; len(list) > 0 {
+		buf := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.classes[i] = list[:len(list)-1]
+		p.hits++
+		return buf[:n]
+	}
+	return make([]byte, n, classSize(i))
+}
+
+// Put returns a buffer obtained from Get to its free list. The caller must
+// not retain any reference; nil and oversize buffers are dropped.
+func (p *Pool) Put(buf []byte) {
+	if buf == nil {
+		return
+	}
+	c := cap(buf)
+	if c < minClass || c > maxClass {
+		return
+	}
+	i := classIndex(c)
+	if classSize(i) != c {
+		// Not one of ours (e.g. a caller-provided slice); never pool a
+		// buffer whose capacity is not an exact class size, as handing it
+		// out at full class length would over-run it.
+		return
+	}
+	p.classes[i] = append(p.classes[i], buf[:c])
+}
+
+// Stats reports total Get calls and how many were served from a free list.
+func (p *Pool) Stats() (gets, hits uint64) { return p.gets, p.hits }

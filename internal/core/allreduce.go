@@ -247,11 +247,11 @@ func (a *allreduceState) masterLarge(p *sim.Proc, ep *rma.Endpoint, x int, send,
 	interKids := a.emb.inter.Children[x]
 
 	// Broadcast-side helper.
-	s.m.Env.Spawn(fmt.Sprintf("srm-arb-%d", x), func(hp *sim.Proc) {
+	s.m.Env.SpawnIndexed("srm-arb-", x, func(hp *sim.Proc) {
 		defer a.helperDone[x].Trigger()
 		for k, c := range a.sp {
 			if atRoot {
-				a.chunkDone.WaitUntil(hp, func(v int) bool { return v >= k+1 })
+				a.chunkDone.WaitGE(hp, k+1)
 			} else {
 				a.bArr[x][k%2].WaitValue(hp, 1)
 			}

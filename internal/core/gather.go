@@ -388,7 +388,7 @@ func (st *redistState) runAllgather(p *sim.Proc, rank int, send, recv []byte) {
 	// originated at node (x-s mod nn) become copyable.
 	for step := 0; step < nn; step++ {
 		step := step
-		st.ready[x].WaitUntil(p, func(v int) bool { return v >= step+1 })
+		st.ready[x].WaitGE(p, step+1)
 		origin := (x - step + nn) % nn
 		for _, rn := range st.runs {
 			if rn.node != origin {

@@ -42,7 +42,7 @@ func (pub *smpPub) waitConsumed(p *sim.Proc, k int) {
 		if i == pub.masterLocal {
 			continue
 		}
-		pub.done.Flag(i).WaitUntil(p, func(v int) bool { return v >= k+1 })
+		pub.done.Flag(i).WaitGE(p, k+1)
 	}
 }
 
@@ -69,7 +69,7 @@ func (pub *smpPub) Publish(p *sim.Proc, k int, src []byte, direct bool) {
 
 // Consume copies chunk k into dst at a non-master task.
 func (pub *smpPub) Consume(p *sim.Proc, local, k int, dst []byte) {
-	pub.ready.WaitUntil(p, func(v int) bool { return v >= k+1 })
+	pub.ready.WaitGE(p, k+1)
 	if len(dst) > 0 {
 		pub.s.m.Memcpy(p, pub.node, dst, pub.cur[k%2][:len(dst)])
 	}
@@ -132,7 +132,7 @@ func (tp *treePub) Publish(p *sim.Proc, k int, src []byte, direct bool) {
 // waitAcks blocks until every child of local task v pulled chunk k.
 func (tp *treePub) waitAcks(p *sim.Proc, v, k int) {
 	for _, f := range tp.ack[v] {
-		f.WaitUntil(p, func(x int) bool { return x >= k+1 })
+		f.WaitGE(p, k+1)
 	}
 }
 
@@ -141,7 +141,7 @@ func (tp *treePub) waitAcks(p *sim.Proc, v, k int) {
 func (tp *treePub) Consume(p *sim.Proc, local, k int, dst []byte) {
 	parent := tp.tr.Parent[local]
 	parity := k % 2
-	tp.full[parent].WaitUntil(p, func(v int) bool { return v >= k+1 })
+	tp.full[parent].WaitGE(p, k+1)
 	src := tp.buf[parent][parity][:len(dst)]
 	if len(tp.tr.Children[local]) > 0 {
 		if k >= 2 {
@@ -227,7 +227,7 @@ func (rn *redNode) worker(p *sim.Proc, local int, send []byte, sp []span, ds dat
 	for k, c := range sp {
 		parity := k % 2
 		// Wait for the parent to have consumed this parity's previous chunk.
-		rn.free[local].WaitUntil(p, func(v int) bool { return v >= k-1 })
+		rn.free[local].WaitGE(p, k-1)
 		target := rn.slot[local][parity][:c.n]
 		own := send[c.off : c.off+c.n]
 		kids := rn.tr.Children[local]
@@ -248,7 +248,7 @@ func (rn *redNode) combineChildren(p *sim.Proc, k int, kids []int, target, own [
 	parity := k % 2
 	first := true
 	for _, c := range kids {
-		rn.full[c].WaitUntil(p, func(v int) bool { return v >= k+1 })
+		rn.full[c].WaitGE(p, k+1)
 		src := rn.slot[c][parity][:len(target)]
 		if len(target) > 0 {
 			if first {
@@ -313,7 +313,7 @@ func (pub *barrierPub) barrierMaster(p *sim.Proc, gen int) {
 		if i == pub.masterLocal {
 			continue
 		}
-		pub.checkin.Flag(i).WaitUntil(p, func(v int) bool { return v >= gen })
+		pub.checkin.Flag(i).WaitGE(p, gen)
 	}
 	pub.epoch.Set(gen)
 }
@@ -321,7 +321,7 @@ func (pub *barrierPub) barrierMaster(p *sim.Proc, gen int) {
 // barrierWorker is the non-master side of the same barrier.
 func (pub *barrierPub) barrierWorker(p *sim.Proc, local, gen int) {
 	pub.checkin.Flag(local).Set(gen)
-	pub.epoch.WaitUntil(p, func(v int) bool { return v >= gen })
+	pub.epoch.WaitGE(p, gen)
 }
 
 func (pub *barrierPub) Publish(p *sim.Proc, k int, src []byte, direct bool) {

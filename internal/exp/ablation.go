@@ -21,13 +21,10 @@ func AblationTrees(g Grid, op Op) *Table {
 		{InterTree: srmcoll.Binary},
 		{InterTree: srmcoll.Fibonacci},
 	}
-	for _, size := range g.Sizes {
-		row := []float64{float64(size)}
-		for _, v := range kinds {
-			row = append(row, MeasureOp(g, srmcoll.SRM, op, procs, size, v))
-		}
-		t.Rows = append(t.Rows, row)
-	}
+	vals := sweepGrid(len(g.Sizes), len(kinds), func(xi, yi int) float64 {
+		return MeasureOp(g, srmcoll.SRM, op, procs, g.Sizes[xi], kinds[yi])
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.Sizes[i]) })
 	return t
 }
 
@@ -46,13 +43,11 @@ func AblationSMPBcast(g Grid) *Table {
 		Iters:        g.Iters,
 		LargeOnce:    g.LargeOnce,
 	}
-	for _, size := range g.Sizes {
-		t.Rows = append(t.Rows, []float64{
-			float64(size),
-			MeasureOp(oneNode, srmcoll.SRM, Bcast, g.TasksPerNode, size, srmcoll.Variant{}),
-			MeasureOp(oneNode, srmcoll.SRM, Bcast, g.TasksPerNode, size, srmcoll.Variant{TreeSMPBcst: true}),
-		})
-	}
+	variants := []srmcoll.Variant{{}, {TreeSMPBcst: true}}
+	vals := sweepGrid(len(g.Sizes), len(variants), func(xi, yi int) float64 {
+		return MeasureOp(oneNode, srmcoll.SRM, Bcast, g.TasksPerNode, g.Sizes[xi], variants[yi])
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.Sizes[i]) })
 	return t
 }
 
@@ -70,13 +65,11 @@ func AblationYield(g Grid, op Op) *Table {
 	withYield := srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode)
 	noYield := withYield
 	noYield.SpinYield = false
-	for _, size := range g.SmallSizes {
-		t.Rows = append(t.Rows, []float64{
-			float64(size),
-			measureCfg(g, withYield, srmcoll.SRM, op, size, srmcoll.Variant{}),
-			measureCfg(g, noYield, srmcoll.SRM, op, size, srmcoll.Variant{}),
-		})
-	}
+	cfgs := []srmcoll.Config{withYield, noYield}
+	vals := sweepGrid(len(g.SmallSizes), len(cfgs), func(xi, yi int) float64 {
+		return measureCfg(g, cfgs[yi], srmcoll.SRM, op, g.SmallSizes[xi], srmcoll.Variant{})
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.SmallSizes[i]) })
 	return t
 }
 
@@ -92,16 +85,15 @@ func AblationChunks(g Grid) *Table {
 		Prec:  1,
 	}
 	base := srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode)
-	for _, chunkKB := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+	chunkKBs := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	sizes := []int{32 << 10, 1 << 20}
+	vals := sweepGrid(len(chunkKBs), len(sizes), func(xi, yi int) float64 {
 		cfg := base
-		cfg.SRMSmallChunk = min(chunkKB<<10, cfg.SRMBcastBufSize)
-		cfg.SRMLargeChunk = chunkKB << 10
-		t.Rows = append(t.Rows, []float64{
-			float64(chunkKB),
-			measureCfg(g, cfg, srmcoll.SRM, Bcast, 32<<10, srmcoll.Variant{}),
-			measureCfg(g, cfg, srmcoll.SRM, Bcast, 1<<20, srmcoll.Variant{}),
-		})
-	}
+		cfg.SRMSmallChunk = min(chunkKBs[xi]<<10, cfg.SRMBcastBufSize)
+		cfg.SRMLargeChunk = chunkKBs[xi] << 10
+		return measureCfg(g, cfg, srmcoll.SRM, Bcast, sizes[yi], srmcoll.Variant{})
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(chunkKBs[i]) })
 	return t
 }
 
@@ -118,15 +110,13 @@ func Extension(g Grid) *Table {
 		Prec: 1,
 	}
 	cfg := srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode)
-	for _, blk := range []int{16, 256, 4 << 10, 32 << 10} {
-		row := []float64{float64(blk)}
-		for _, op := range []string{"gather", "scatter", "allgather", "alltoall", "redscat"} {
-			for _, impl := range []srmcoll.Impl{srmcoll.SRM, srmcoll.IBMMPI} {
-				row = append(row, measureExt(cfg, impl, op, blk))
-			}
-		}
-		t.Rows = append(t.Rows, row)
-	}
+	blks := []int{16, 256, 4 << 10, 32 << 10}
+	ops := []string{"gather", "scatter", "allgather", "alltoall", "redscat"}
+	impls := []srmcoll.Impl{srmcoll.SRM, srmcoll.IBMMPI}
+	vals := sweepGrid(len(blks), len(ops)*len(impls), func(xi, yi int) float64 {
+		return measureExt(cfg, impls[yi%len(impls)], ops[yi/len(impls)], blks[xi])
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(blks[i]) })
 	return t
 }
 
@@ -176,13 +166,11 @@ func AblationInterrupts(g Grid, op Op) *Table {
 		Cols:  []string{"bytes", "managed", "always-on"},
 		Prec:  1,
 	}
-	for _, size := range g.SmallSizes {
-		t.Rows = append(t.Rows, []float64{
-			float64(size),
-			MeasureOp(g, srmcoll.SRM, op, procs, size, srmcoll.Variant{}),
-			MeasureOp(g, srmcoll.SRM, op, procs, size, srmcoll.Variant{KeepInterrupts: true}),
-		})
-	}
+	variants := []srmcoll.Variant{{}, {KeepInterrupts: true}}
+	vals := sweepGrid(len(g.SmallSizes), len(variants), func(xi, yi int) float64 {
+		return MeasureOp(g, srmcoll.SRM, op, procs, g.SmallSizes[xi], variants[yi])
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.SmallSizes[i]) })
 	return t
 }
 
@@ -198,14 +186,11 @@ func AblationEager(g Grid) *Table {
 		Cols:  []string{"procs", "ibm-mpi", "mpich", "srm"},
 		Prec:  1,
 	}
-	for _, p := range g.Procs {
-		t.Rows = append(t.Rows, []float64{
-			float64(p),
-			MeasureOp(g, srmcoll.IBMMPI, Bcast, p, size, srmcoll.Variant{}),
-			MeasureOp(g, srmcoll.MPICHMPI, Bcast, p, size, srmcoll.Variant{}),
-			MeasureOp(g, srmcoll.SRM, Bcast, p, size, srmcoll.Variant{}),
-		})
-	}
+	impls := []srmcoll.Impl{srmcoll.IBMMPI, srmcoll.MPICHMPI, srmcoll.SRM}
+	vals := sweepGrid(len(g.Procs), len(impls), func(xi, yi int) float64 {
+		return MeasureOp(g, impls[yi], Bcast, g.Procs[xi], size, srmcoll.Variant{})
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.Procs[i]) })
 	return t
 }
 
@@ -223,30 +208,30 @@ func AblationLateArrival(g Grid) *Table {
 		Prec: 1,
 	}
 	cfg := srmcoll.ColonySP(nodesFor(g, procs), g.TasksPerNode)
-	for _, late := range []float64{0, 50, 200, 800} {
-		row := []float64{late}
-		for _, v := range []srmcoll.Variant{{}, {BarrierSMPBcst: true}} {
-			cl, err := srmcoll.NewCluster(cfg)
-			if err != nil {
-				panic(err)
-			}
-			cl.SetVariant(v)
-			res, err := cl.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
-				// The straggler shares the measured rank's node, where the
-				// buffer-arbitration policy decides who waits for whom.
-				if c.Rank() == 2 {
-					c.Compute(late)
-				}
-				c.Bcast(make([]byte, 4096), 0)
-			})
-			if err != nil {
-				panic(err)
-			}
-			// Median punctual completion: rank 1's time.
-			row = append(row, res.PerRank[1])
+	lates := []float64{0, 50, 200, 800}
+	variants := []srmcoll.Variant{{}, {BarrierSMPBcst: true}}
+	vals := sweepGrid(len(lates), len(variants), func(xi, yi int) float64 {
+		late := lates[xi]
+		cl, err := srmcoll.NewCluster(cfg)
+		if err != nil {
+			panic(err)
 		}
-		t.Rows = append(t.Rows, row)
-	}
+		cl.SetVariant(variants[yi])
+		res, err := cl.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+			// The straggler shares the measured rank's node, where the
+			// buffer-arbitration policy decides who waits for whom.
+			if c.Rank() == 2 {
+				c.Compute(late)
+			}
+			c.Bcast(make([]byte, 4096), 0)
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Median punctual completion: rank 1's time.
+		return res.PerRank[1]
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return lates[i] })
 	return t
 }
 
@@ -268,16 +253,13 @@ func AblationFifteenOfSixteen(g Grid) *Table {
 		Prec: 1,
 		LogX: true,
 	}
-	for _, size := range g.SmallSizes {
-		row := []float64{float64(size)}
-		for _, tpn := range []int{full, trimmed} {
-			cfg := srmcoll.ColonySP(nodes, tpn)
-			row = append(row,
-				measureCfg(g, cfg, srmcoll.SRM, Bcast, size, srmcoll.Variant{}),
-				measureCfg(g, cfg, srmcoll.IBMMPI, Bcast, size, srmcoll.Variant{}))
-		}
-		t.Rows = append(t.Rows, row)
-	}
+	tpns := []int{full, full, trimmed, trimmed}
+	impls := []srmcoll.Impl{srmcoll.SRM, srmcoll.IBMMPI, srmcoll.SRM, srmcoll.IBMMPI}
+	vals := sweepGrid(len(g.SmallSizes), len(tpns), func(xi, yi int) float64 {
+		cfg := srmcoll.ColonySP(nodes, tpns[yi])
+		return measureCfg(g, cfg, impls[yi], Bcast, g.SmallSizes[xi], srmcoll.Variant{})
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.SmallSizes[i]) })
 	return t
 }
 
@@ -327,13 +309,10 @@ func AblationDaemons(g Grid) *Table {
 		}
 		return res.Time / train
 	}
-	for _, size := range g.SmallSizes {
-		t.Rows = append(t.Rows, []float64{
-			float64(size),
-			measure(mk(full, false), size),
-			measure(mk(full, true), size),
-			measure(mk(trimmed, true), size),
-		})
-	}
+	cfgs := []srmcoll.Config{mk(full, false), mk(full, true), mk(trimmed, true)}
+	vals := sweepGrid(len(g.SmallSizes), len(cfgs), func(xi, yi int) float64 {
+		return measure(cfgs[yi], g.SmallSizes[xi])
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.SmallSizes[i]) })
 	return t
 }

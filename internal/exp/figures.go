@@ -16,12 +16,14 @@ func Fig2() *Table {
 		Cols:  []string{"impl", "shmCopies", "messages", "combines"},
 		Prec:  0,
 	}
-	for i, impl := range []srmcoll.Impl{srmcoll.SRM, srmcoll.MPICHMPI} {
+	impls := []srmcoll.Impl{srmcoll.SRM, srmcoll.MPICHMPI}
+	t.Rows = make([][]float64, len(impls))
+	forEach(len(impls), func(i int) {
 		cl, err := srmcoll.NewCluster(srmcoll.ColonySP(1, 8))
 		if err != nil {
 			panic(err)
 		}
-		res, err := cl.Run(impl, func(c *srmcoll.Comm) {
+		res, err := cl.Run(impls[i], func(c *srmcoll.Comm) {
 			send := make([]byte, 8<<10)
 			var recv []byte
 			if c.Rank() == 0 {
@@ -32,13 +34,13 @@ func Fig2() *Table {
 		if err != nil {
 			panic(err)
 		}
-		t.Rows = append(t.Rows, []float64{
+		t.Rows[i] = []float64{
 			float64(i),
 			float64(res.Stats.ShmCopies),
 			float64(res.Stats.MPISends),
 			float64(res.Stats.ReduceOps),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -71,13 +73,10 @@ func FigAbsolute(g Grid, op Op) *Table {
 	for _, p := range g.Procs {
 		t.Cols = append(t.Cols, fmt.Sprintf("P=%d", p))
 	}
-	for _, size := range g.Sizes {
-		row := []float64{float64(size)}
-		for _, p := range g.Procs {
-			row = append(row, MeasureOp(g, srmcoll.SRM, op, p, size, srmcoll.Variant{}))
-		}
-		t.Rows = append(t.Rows, row)
-	}
+	vals := sweepGrid(len(g.Sizes), len(g.Procs), func(xi, yi int) float64 {
+		return MeasureOp(g, srmcoll.SRM, op, g.Procs[yi], g.Sizes[xi], srmcoll.Variant{})
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.Sizes[i]) })
 	return t
 }
 
@@ -94,14 +93,11 @@ func FigCompareSmall(g Grid, op Op) *Table {
 		Prec:  1,
 		LogX:  true,
 	}
-	for _, size := range g.SmallSizes {
-		t.Rows = append(t.Rows, []float64{
-			float64(size),
-			MeasureOp(g, srmcoll.MPICHMPI, op, procs, size, srmcoll.Variant{}),
-			MeasureOp(g, srmcoll.IBMMPI, op, procs, size, srmcoll.Variant{}),
-			MeasureOp(g, srmcoll.SRM, op, procs, size, srmcoll.Variant{}),
-		})
-	}
+	impls := []srmcoll.Impl{srmcoll.MPICHMPI, srmcoll.IBMMPI, srmcoll.SRM}
+	vals := sweepGrid(len(g.SmallSizes), len(impls), func(xi, yi int) float64 {
+		return MeasureOp(g, impls[yi], op, procs, g.SmallSizes[xi], srmcoll.Variant{})
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.SmallSizes[i]) })
 	return t
 }
 
@@ -120,15 +116,12 @@ func FigRatio(g Grid, op Op, base srmcoll.Impl) *Table {
 	for _, p := range g.Procs {
 		t.Cols = append(t.Cols, fmt.Sprintf("P=%d", p))
 	}
-	for _, size := range g.Sizes {
-		row := []float64{float64(size)}
-		for _, p := range g.Procs {
-			s := MeasureOp(g, srmcoll.SRM, op, p, size, srmcoll.Variant{})
-			b := MeasureOp(g, base, op, p, size, srmcoll.Variant{})
-			row = append(row, 100*s/b)
-		}
-		t.Rows = append(t.Rows, row)
-	}
+	vals := sweepGrid(len(g.Sizes), len(g.Procs), func(xi, yi int) float64 {
+		s := MeasureOp(g, srmcoll.SRM, op, g.Procs[yi], g.Sizes[xi], srmcoll.Variant{})
+		b := MeasureOp(g, base, op, g.Procs[yi], g.Sizes[xi], srmcoll.Variant{})
+		return 100 * s / b
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.Sizes[i]) })
 	return t
 }
 
@@ -141,14 +134,11 @@ func Fig12(g Grid) *Table {
 		Cols:  []string{"procs", "srm", "ibm-mpi", "mpich"},
 		Prec:  1,
 	}
-	for _, p := range g.Procs {
-		t.Rows = append(t.Rows, []float64{
-			float64(p),
-			MeasureOp(g, srmcoll.SRM, Barrier, p, 0, srmcoll.Variant{}),
-			MeasureOp(g, srmcoll.IBMMPI, Barrier, p, 0, srmcoll.Variant{}),
-			MeasureOp(g, srmcoll.MPICHMPI, Barrier, p, 0, srmcoll.Variant{}),
-		})
-	}
+	impls := []srmcoll.Impl{srmcoll.SRM, srmcoll.IBMMPI, srmcoll.MPICHMPI}
+	vals := sweepGrid(len(g.Procs), len(impls), func(xi, yi int) float64 {
+		return MeasureOp(g, impls[yi], Barrier, g.Procs[xi], 0, srmcoll.Variant{})
+	})
+	t.Rows = gridRows(vals, func(i int) float64 { return float64(g.Procs[i]) })
 	return t
 }
 
@@ -191,11 +181,16 @@ func Headline(g Grid) *Table {
 			lo = 100 * (1 - s/b)
 			hi = lo
 		} else {
-			for _, size := range g.Sizes {
-				for _, p := range g.Procs {
-					s := MeasureOp(g, srmcoll.SRM, band.Op, p, size, srmcoll.Variant{})
-					b := MeasureOp(g, srmcoll.IBMMPI, band.Op, p, size, srmcoll.Variant{})
-					imp := 100 * (1 - s/b)
+			// All improvements are computed in parallel, then reduced in
+			// grid order (the min/max reduction is order-insensitive
+			// anyway, but keeping it ordered costs nothing).
+			imps := sweepGrid(len(g.Sizes), len(g.Procs), func(xi, yi int) float64 {
+				s := MeasureOp(g, srmcoll.SRM, band.Op, g.Procs[yi], g.Sizes[xi], srmcoll.Variant{})
+				b := MeasureOp(g, srmcoll.IBMMPI, band.Op, g.Procs[yi], g.Sizes[xi], srmcoll.Variant{})
+				return 100 * (1 - s/b)
+			})
+			for _, rowv := range imps {
+				for _, imp := range rowv {
 					if imp < lo {
 						lo = imp
 					}

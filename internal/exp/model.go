@@ -19,18 +19,27 @@ func AblationModel(g Grid) *Table {
 		Cols:  []string{"bytes", "op", "predicted", "simulated", "err%"},
 		Prec:  1,
 	}
-	add := func(op Op, size int, predicted float64) {
-		simd := MeasureOp(g, srmcoll.SRM, op, procs, size, srmcoll.Variant{})
-		t.Rows = append(t.Rows, []float64{
-			float64(size), float64(op), predicted, simd, 100 * (predicted - simd) / simd,
-		})
+	type point struct {
+		op        Op
+		size      int
+		predicted float64
 	}
-	add(Barrier, 0, model.Barrier(cfg))
+	pts := []point{{Barrier, 0, model.Barrier(cfg)}}
 	for _, size := range g.Sizes {
-		add(Bcast, size, model.Bcast(cfg, size))
-		add(Reduce, size, model.Reduce(cfg, size))
-		add(Allreduce, size, model.Allreduce(cfg, size))
+		pts = append(pts,
+			point{Bcast, size, model.Bcast(cfg, size)},
+			point{Reduce, size, model.Reduce(cfg, size)},
+			point{Allreduce, size, model.Allreduce(cfg, size)})
 	}
+	t.Rows = make([][]float64, len(pts))
+	forEach(len(pts), func(i int) {
+		pt := pts[i]
+		simd := MeasureOp(g, srmcoll.SRM, pt.op, procs, pt.size, srmcoll.Variant{})
+		t.Rows[i] = []float64{
+			float64(pt.size), float64(pt.op), pt.predicted, simd,
+			100 * (pt.predicted - simd) / simd,
+		}
+	})
 	return t
 }
 

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"srmcoll"
+)
+
+// This file is the wall-clock perf-regression harness behind
+// `srmbench -benchjson`: it times a fixed basket of simulator workloads
+// (events/sec, wall-ns per simulated microsecond, allocs per op) plus a
+// serial-vs-parallel sweep comparison, producing the numbers recorded in
+// BENCH_simperf.json. The basket is fixed so successive commits measure the
+// same work.
+
+// PerfEntry reports one basket workload.
+type PerfEntry struct {
+	Name           string  `json:"name"`
+	Reps           int     `json:"reps"`
+	WallNsPerOp    int64   `json:"wall_ns_per_op"`
+	EventsPerOp    uint64  `json:"events_per_op"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	SimUsPerOp     float64 `json:"sim_us_per_op"`
+	WallNsPerSimUs float64 `json:"wall_ns_per_sim_us"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+}
+
+// SweepPerf reports one timed sweep of the quick Figure-6 tables.
+type SweepPerf struct {
+	Workers int   `json:"workers"`
+	WallNs  int64 `json:"wall_ns"`
+}
+
+// PerfReport is the full -benchjson payload.
+type PerfReport struct {
+	GOMAXPROCS     int         `json:"gomaxprocs"`
+	Basket         []PerfEntry `json:"basket"`
+	Sweep          []SweepPerf `json:"sweep"`
+	SweepIdentical bool        `json:"sweep_outputs_identical"`
+}
+
+// perfWorkload is one fixed basket item; run executes it once and reports
+// the simulated duration and executed event count.
+type perfWorkload struct {
+	name string
+	reps int
+	run  func() (simUs float64, events uint64)
+}
+
+// runCollective builds the standard basket runner: one cluster run of iters
+// back-to-back calls of op at the given size.
+func runCollective(impl srmcoll.Impl, op Op, nodes, tpn, size, iters int) func() (float64, uint64) {
+	return func() (float64, uint64) {
+		cl, err := srmcoll.NewCluster(srmcoll.ColonySP(nodes, tpn))
+		if err != nil {
+			panic(err)
+		}
+		res, err := cl.Run(impl, func(c *srmcoll.Comm) {
+			var send, recv []byte
+			if op != Barrier {
+				send = make([]byte, size)
+				recv = make([]byte, size)
+			}
+			for i := 0; i < iters; i++ {
+				switch op {
+				case Bcast:
+					c.Bcast(send, 0)
+				case Reduce:
+					var rb []byte
+					if c.Rank() == 0 {
+						rb = recv
+					}
+					c.Reduce(send, rb, srmcoll.Float64, srmcoll.Sum, 0)
+				case Allreduce:
+					c.Allreduce(send, recv, srmcoll.Float64, srmcoll.Sum)
+				case Barrier:
+					c.Barrier()
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Time, res.Events
+	}
+}
+
+// runFaultReplay exercises the reliable-delivery path under a deterministic
+// fault plan — the same shape the fault-determinism tests replay — so the
+// harness tracks the pooled retransmit path too.
+func runFaultReplay() (float64, uint64) {
+	cl, err := srmcoll.NewCluster(srmcoll.ColonySP(4, 2))
+	if err != nil {
+		panic(err)
+	}
+	cl.SetFaultPlan(srmcoll.FaultPlan{
+		Seed: 1234, Drop: 0.08, Dup: 0.04, Delay: 0.1, DelayMax: 15,
+		AckDrop: 0.05, Reliable: true,
+		Storms: []srmcoll.Storm{{Node: 1, From: 0, Until: 5000, Extra: 25}},
+		Stalls: []srmcoll.Stall{{Rank: 2, From: 0, Until: 100000, Factor: 2}},
+	})
+	res, err := cl.Run(srmcoll.SRM, func(c *srmcoll.Comm) {
+		c.Bcast(make([]byte, 1536), 0)
+		send := make([]byte, 128*8)
+		recv := make([]byte, 128*8)
+		var rb []byte
+		if c.Rank() == 0 {
+			rb = recv
+		}
+		c.Reduce(send, rb, srmcoll.Int64, srmcoll.Sum, 0)
+		c.Allreduce(send, recv, srmcoll.Int64, srmcoll.Sum)
+		c.Barrier()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res.Time, res.Events
+}
+
+// perfBasket returns the fixed workload basket. Do not reorder or retune
+// entries casually: BENCH_simperf.json compares like against like across
+// commits.
+func perfBasket() []perfWorkload {
+	return []perfWorkload{
+		{"srm-bcast-4KB-64p", 20, runCollective(srmcoll.SRM, Bcast, 4, 16, 4<<10, 8)},
+		{"srm-bcast-512KB-64p", 5, runCollective(srmcoll.SRM, Bcast, 4, 16, 512<<10, 2)},
+		{"srm-allreduce-32KB-64p", 10, runCollective(srmcoll.SRM, Allreduce, 4, 16, 32<<10, 4)},
+		{"srm-barrier-256p", 10, runCollective(srmcoll.SRM, Barrier, 16, 16, 0, 8)},
+		{"ibm-bcast-4KB-64p", 10, runCollective(srmcoll.IBMMPI, Bcast, 4, 16, 4<<10, 8)},
+		{"fault-replay-reliable-8p", 20, func() (float64, uint64) { return runFaultReplay() }},
+	}
+}
+
+// measurePerf times one workload: reps back-to-back runs bracketed by
+// memory-stat reads for allocation counts.
+func measurePerf(w perfWorkload) PerfEntry {
+	// One warm-up run keeps one-time costs (lazy init, first GC sizing)
+	// out of the measurement.
+	w.run()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var simUs float64
+	var events uint64
+	for i := 0; i < w.reps; i++ {
+		s, ev := w.run()
+		simUs += s
+		events += ev
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	e := PerfEntry{
+		Name:        w.name,
+		Reps:        w.reps,
+		WallNsPerOp: wall.Nanoseconds() / int64(w.reps),
+		EventsPerOp: events / uint64(w.reps),
+		SimUsPerOp:  simUs / float64(w.reps),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(w.reps),
+	}
+	if wall > 0 {
+		e.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	if simUs > 0 {
+		e.WallNsPerSimUs = float64(wall.Nanoseconds()) / simUs
+	}
+	return e
+}
+
+// RunPerf measures the fixed basket plus a serial-vs-parallel quick sweep
+// and returns the report. The sweep runs the quick-grid Figure 6 tables at
+// 1 worker and at GOMAXPROCS workers, checks the rendered outputs are
+// byte-identical, and restores the worker count it found.
+func RunPerf() PerfReport {
+	rep := PerfReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, w := range perfBasket() {
+		rep.Basket = append(rep.Basket, measurePerf(w))
+	}
+
+	prev := Workers()
+	defer SetWorkers(prev)
+	g := QuickGrid()
+	sweep := func() string {
+		return FigAbsolute(g, Bcast).Text() + FigCompareSmall(g, Bcast).Text()
+	}
+	var outputs []string
+	for _, j := range []int{1, runtime.GOMAXPROCS(0)} {
+		SetWorkers(j)
+		sweep() // warm-up, untimed
+		start := time.Now()
+		outputs = append(outputs, sweep())
+		rep.Sweep = append(rep.Sweep, SweepPerf{Workers: j, WallNs: time.Since(start).Nanoseconds()})
+	}
+	rep.SweepIdentical = outputs[0] == outputs[1]
+	if !rep.SweepIdentical {
+		panic(fmt.Sprintf("exp: sweep outputs differ between -j 1 and -j %d", runtime.GOMAXPROCS(0)))
+	}
+	return rep
+}

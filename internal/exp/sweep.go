@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment grid is embarrassingly parallel: every measurement builds
+// its own cluster, and a cluster run owns a private sim.Env, machine state
+// and buffer pool — no mutable state is shared between grid points. The
+// worker pool below fans independent points across host cores; each point
+// writes only its own output slot, and rows are assembled in grid order
+// afterwards, so the merged tables are byte-identical to a serial sweep no
+// matter how the host schedules the workers. Virtual time cannot be
+// perturbed: it lives inside each point's private Env.
+
+// workers is the pool width used by forEach; see SetWorkers.
+var workers int64 = int64(runtime.GOMAXPROCS(0))
+
+// SetWorkers sets the number of concurrent sweep workers (minimum 1; 1
+// reproduces the serial path exactly). cmd/srmbench surfaces this as -j.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	atomic.StoreInt64(&workers, int64(n))
+}
+
+// Workers returns the current sweep worker count.
+func Workers() int { return int(atomic.LoadInt64(&workers)) }
+
+// forEach runs fn(0..n-1), fanning the calls across min(Workers(), n)
+// goroutines. Indices are claimed atomically, so workers stay busy however
+// uneven the per-point cost is. fn must confine its writes to data owned by
+// index i. A panic in any fn is re-raised in the caller after all workers
+// have stopped.
+func forEach(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	panics := make([]any, w)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[slot] = r
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+}
+
+// sweepGrid fills an nx-by-ny value grid, one independent measurement per
+// (xi, yi) cell, fanned across the worker pool. Cell order in the result is
+// fixed by the indices, not by completion order.
+func sweepGrid(nx, ny int, cell func(xi, yi int) float64) [][]float64 {
+	vals := make([][]float64, nx)
+	for i := range vals {
+		vals[i] = make([]float64, ny)
+	}
+	forEach(nx*ny, func(k int) {
+		vals[k/ny][k%ny] = cell(k/ny, k%ny)
+	})
+	return vals
+}
+
+// gridRows converts a sweepGrid result into table rows with x(i) prepended
+// as the first column of row i.
+func gridRows(vals [][]float64, x func(i int) float64) [][]float64 {
+	rows := make([][]float64, len(vals))
+	for i, v := range vals {
+		rows[i] = append([]float64{x(i)}, v...)
+	}
+	return rows
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"srmcoll"
+)
+
+func TestSetWorkersClampsToOne(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	SetWorkers(-3)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(-3), want 1", Workers())
+	}
+	SetWorkers(6)
+	if Workers() != 6 {
+		t.Fatalf("Workers() = %d, want 6", Workers())
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		const n = 100
+		var hits [n]int32
+		forEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	SetWorkers(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+	}()
+	forEach(8, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+// TestSweepWorkerCountInvisible is the tentpole's core guarantee: the
+// rendered output of a figure and an ablation must be byte-identical
+// whether the grid is swept serially or by 8 concurrent workers.
+func TestSweepWorkerCountInvisible(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	g := QuickGrid()
+
+	render := func() (figText, figCSV, ablText, ablCSV string) {
+		fig := FigAbsolute(g, Bcast)
+		abl := AblationTrees(g, Bcast)
+		return fig.Text(), fig.CSV(), abl.Text(), abl.CSV()
+	}
+
+	SetWorkers(1)
+	ft1, fc1, at1, ac1 := render()
+	SetWorkers(8)
+	ft8, fc8, at8, ac8 := render()
+
+	if ft1 != ft8 {
+		t.Errorf("figure text differs between -j 1 and -j 8:\n%q\n%q", ft1, ft8)
+	}
+	if fc1 != fc8 {
+		t.Errorf("figure CSV differs between -j 1 and -j 8")
+	}
+	if at1 != at8 {
+		t.Errorf("ablation text differs between -j 1 and -j 8:\n%q\n%q", at1, at8)
+	}
+	if ac1 != ac8 {
+		t.Errorf("ablation CSV differs between -j 1 and -j 8")
+	}
+}
+
+func TestMeasurePerfReportsSaneNumbers(t *testing.T) {
+	e := measurePerf(perfWorkload{
+		name: "tiny",
+		reps: 2,
+		run:  runCollective(srmcoll.SRM, Bcast, 2, 2, 256, 1),
+	})
+	if e.Name != "tiny" || e.Reps != 2 {
+		t.Fatalf("entry identity wrong: %+v", e)
+	}
+	if e.WallNsPerOp <= 0 || e.EventsPerOp == 0 || e.SimUsPerOp <= 0 {
+		t.Fatalf("non-positive measurements: %+v", e)
+	}
+	if e.EventsPerSec <= 0 || e.WallNsPerSimUs <= 0 {
+		t.Fatalf("derived rates missing: %+v", e)
+	}
+}
+
+func TestRunPerfSweepIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf basket is slow")
+	}
+	rep := RunPerf()
+	if !rep.SweepIdentical {
+		t.Fatal("sweep outputs differ between worker counts")
+	}
+	if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("GOMAXPROCS recorded as %d", rep.GOMAXPROCS)
+	}
+	if len(rep.Basket) == 0 || len(rep.Sweep) != 2 {
+		t.Fatalf("report shape: %d basket entries, %d sweeps", len(rep.Basket), len(rep.Sweep))
+	}
+	for _, e := range rep.Basket {
+		if e.WallNsPerOp <= 0 || e.EventsPerOp == 0 {
+			t.Errorf("%s: empty measurement %+v", e.Name, e)
+		}
+	}
+}

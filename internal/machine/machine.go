@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"srmcoll/internal/bufpool"
 	"srmcoll/internal/fault"
 	"srmcoll/internal/sim"
 	"srmcoll/internal/trace"
@@ -163,6 +164,10 @@ type Machine struct {
 	// RMA layer consults it for wire-put faults and the machine for
 	// interrupt-storm delivery penalties; nil costs nothing.
 	Faults *fault.Injector
+
+	// Buffers recycles transient payload copies (put snapshots, eager-send
+	// copies) for this machine's single-threaded simulation.
+	Buffers *bufpool.Pool
 }
 
 // New creates a machine. It panics on an invalid configuration, since every
@@ -171,7 +176,7 @@ func New(env *sim.Env, cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Machine{Env: env, Cfg: cfg, Stats: &trace.Stats{}}
+	m := &Machine{Env: env, Cfg: cfg, Stats: &trace.Stats{}, Buffers: bufpool.New()}
 	m.nodes = make([]*Node, cfg.Nodes)
 	for i := range m.nodes {
 		m.nodes[i] = &Node{ID: i}

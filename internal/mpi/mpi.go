@@ -194,8 +194,8 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
 
 func (r *Rank) sendShmEager(p *sim.Proc, target *Rank, tag int, data []byte) {
 	m := r.w.m
-	owned := make([]byte, len(data))
-	m.Memcpy(p, r.node, owned, data) // copy into the shared bounce buffer
+	owned := m.Buffers.Get(len(data)) // released by consume after copy-out
+	m.Memcpy(p, r.node, owned, data)  // copy into the shared bounce buffer
 	msg := &message{kind: eagerShm, src: r.rank, tag: tag, size: len(data), data: owned}
 	m.Env.After(m.Cfg.FlagLatency, func() { target.arrive(msg) })
 }
@@ -217,7 +217,7 @@ func (r *Rank) sendShmRndv(p *sim.Proc, target *Rank, tag int, data []byte) {
 
 func (r *Rank) sendNetEager(p *sim.Proc, target *Rank, tag int, data []byte) {
 	m := r.w.m
-	owned := make([]byte, len(data))
+	owned := m.Buffers.Get(len(data)) // released by consume after copy-out
 	copy(owned, data)
 	m.ChargeCopy(p, r.node, len(data)) // staging copy into the comm subsystem
 	m.Stats.AddPlainCopy(len(data))
@@ -247,10 +247,12 @@ func (r *Rank) sendNetRndv(p *sim.Proc, target *Rank, tag int, data []byte) {
 	// The adapter reads the user buffer during injection; snapshot it now so
 	// the buffer is truly reusable once Send returns (MPI semantics) even
 	// though the simulated delivery lands one wire latency later.
-	snap := append([]byte(nil), msg.payload...)
+	snap := m.Buffers.Get(len(msg.payload))
+	copy(snap, msg.payload)
 	injectEnd, dataArrival := m.NetInject(r.node, msg.size)
 	m.Env.At(dataArrival, func() {
 		copy(msg.req.buf[:msg.size], snap) // DMA straight into the user buffer
+		m.Buffers.Put(snap)                // the DMA was the snapshot's only read
 		m.Env.After(m.Cfg.RecvOverhead, msg.dataDone.Trigger)
 	})
 	// The send buffer is reusable once the adapter has read it.
@@ -331,9 +333,13 @@ func (r *Rank) consume(p *sim.Proc, msg *message, buf []byte) Status {
 	switch msg.kind {
 	case eagerShm:
 		m.Memcpy(p, r.node, buf[:msg.size], msg.data)
+		m.Buffers.Put(msg.data) // bounce buffer fully copied out
+		msg.data = nil
 	case eagerNet:
 		m.ChargeCopy(p, r.node, msg.size)
 		copy(buf[:msg.size], msg.data)
+		m.Buffers.Put(msg.data) // staging copy fully copied out
+		msg.data = nil
 		m.Stats.AddPlainCopy(msg.size)
 	case rndvShm:
 		msg.pipe.dst = buf
@@ -355,7 +361,7 @@ func (r *Rank) consume(p *sim.Proc, msg *message, buf []byte) Status {
 func (r *Rank) Sendrecv(p *sim.Proc, dst, stag int, sdata []byte,
 	src, rtag int, rbuf []byte) Status {
 	done := r.w.m.Env.NewEvent()
-	r.w.m.Env.Spawn(fmt.Sprintf("mpi-sendrecv-%d", r.rank), func(sp *sim.Proc) {
+	r.w.m.Env.SpawnIndexed("mpi-sendrecv-", r.rank, func(sp *sim.Proc) {
 		r.Send(sp, dst, stag, sdata)
 		done.Trigger()
 	})
@@ -436,7 +442,7 @@ func (rq *Request) Test() bool { return rq.done.Done() }
 // exactly as for the blocking Send).
 func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
 	rq := &Request{done: r.w.m.Env.NewEvent()}
-	r.w.m.Env.Spawn(fmt.Sprintf("mpi-isend-%d", r.rank), func(sp *sim.Proc) {
+	r.w.m.Env.SpawnIndexed("mpi-isend-", r.rank, func(sp *sim.Proc) {
 		r.Send(sp, dst, tag, data)
 		rq.done.Trigger()
 	})
@@ -449,7 +455,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
 // Irecv starts a nonblocking receive into buf.
 func (r *Rank) Irecv(p *sim.Proc, src, tag int, buf []byte) *Request {
 	rq := &Request{done: r.w.m.Env.NewEvent()}
-	r.w.m.Env.Spawn(fmt.Sprintf("mpi-irecv-%d", r.rank), func(sp *sim.Proc) {
+	r.w.m.Env.SpawnIndexed("mpi-irecv-", r.rank, func(sp *sim.Proc) {
 		rq.status = r.Recv(sp, src, tag, buf)
 		rq.done.Trigger()
 	})

@@ -55,7 +55,9 @@ func (d *Domain) EnableReliable(ackTimeout, backoffCap sim.Time) {
 func (d *Domain) Reliable() bool { return d.reliable }
 
 // wirePut is the inter-node put path when faults or reliable mode are
-// active. snap is the already-snapshotted payload.
+// active. snap is the already-snapshotted payload, owned by the machine's
+// buffer pool; this path recycles it after the last delivery reads it (a
+// duplicated put reads it twice, a dropped one never).
 func (d *Domain) wirePut(src, target *Endpoint, dst, snap []byte, origin, tgt, compl *Counter) {
 	if d.reliable {
 		d.reliablePut(src, target, dst, snap, origin, tgt, compl)
@@ -73,11 +75,19 @@ func (d *Domain) wirePut(src, target *Endpoint, dst, snap []byte, origin, tgt, c
 	if v.Drop {
 		// Lost in the switch; without reliable delivery nobody notices.
 		m.Stats.Drops++
+		m.Buffers.Put(snap) // no delivery will ever read the snapshot
 		return
+	}
+	reads := 1
+	if v.Dup {
+		reads = 2
 	}
 	deliver := func() {
 		target.deliver(func() {
 			copy(dst, snap)
+			if reads--; reads == 0 {
+				m.Buffers.Put(snap)
+			}
 			if tgt != nil {
 				tgt.Incr(1)
 			}
@@ -117,6 +127,12 @@ func (d *Domain) reliablePut(src, target *Endpoint, dst, snap []byte, origin, tg
 			seen[seq] = true
 			target.deliver(func() {
 				copy(dst, snap)
+				// Exactly-once delivery means this copy is the only read of
+				// the snapshot's contents: duplicates are suppressed above
+				// and retransmit attempts read only len(snap) (the slice
+				// header survives recycling). Safe to recycle here even
+				// while retransmits are still in flight.
+				m.Buffers.Put(snap)
 				if tgt != nil {
 					tgt.Incr(1)
 				}

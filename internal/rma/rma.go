@@ -43,13 +43,18 @@ func (c *Counter) Incr(n int) {
 	c.cond.Broadcast()
 }
 
-// waitGE blocks until the counter is at least v.
+// waitGE blocks until the counter is at least v. The wait parks with a
+// WaitDescriber instead of a closure, so the hot Waitcntr path allocates
+// nothing.
 func (c *Counter) waitGE(p *sim.Proc, v int) {
 	for c.val < v {
-		c.cond.WaitReason(p, func() string {
-			return fmt.Sprintf("rma counter %s: value %d, want >= %d", c.cond.ID(), c.val, v)
-		})
+		c.cond.WaitOn(p, c, v)
 	}
+}
+
+// DescribeWait implements sim.WaitDescriber for stall reports.
+func (c *Counter) DescribeWait(want int) string {
+	return fmt.Sprintf("rma counter %s: value %d, want >= %d", c.cond.ID(), c.val, want)
 }
 
 // WaitValue blocks until the counter reaches v and subtracts v, like
@@ -205,9 +210,12 @@ func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, 
 	// The adapter reads the origin buffer at injection; snapshot the payload
 	// now so callers that reuse the buffer after the origin counter fires
 	// stay correct (the snapshot itself is bookkeeping, not a charged copy).
+	// The snapshot comes from the machine's buffer pool; the delivery path
+	// recycles it after the last read of its contents.
 	var snap []byte
 	if len(src) > 0 {
-		snap = append(snap, src...)
+		snap = m.Buffers.Get(len(src))
+		copy(snap, src)
 	}
 	if ep.dom.reliable || m.Faults != nil {
 		ep.dom.wirePut(ep, target, dst, snap, origin, tgt, compl)
@@ -220,6 +228,7 @@ func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, 
 	m.Env.At(arrival, func() {
 		target.deliver(func() {
 			copy(dst, snap)
+			m.Buffers.Put(snap) // contents fully consumed by the copy above
 			if tgt != nil {
 				tgt.Incr(1)
 			}

@@ -41,33 +41,51 @@ func (f *Flag) Set(v int) {
 
 // WaitUntil spins until pred(value) holds. While spinning the task is
 // counted as a (possibly non-yielding) spinner on its node, which the RMA
-// layer consults for delivery starvation.
+// layer consults for delivery starvation. Prefer WaitGE / WaitFor on hot
+// paths: they park without allocating the predicate closure.
 func (f *Flag) WaitUntil(p *sim.Proc, pred func(int) bool) {
-	f.waitUntil(p, pred, -1)
-}
-
-// waitUntil implements WaitUntil; want >= 0 enriches stall reports with the
-// awaited value.
-func (f *Flag) waitUntil(p *sim.Proc, pred func(int) bool, want int) {
 	if pred(f.val) {
 		return
 	}
 	f.m.SpinEnter(f.node)
 	for !pred(f.val) {
-		f.cond.WaitReason(p, func() string {
-			if want >= 0 {
-				return fmt.Sprintf("shm flag %s on node %d: value %d, want %d",
-					f.cond.ID(), f.node, f.val, want)
-			}
-			return fmt.Sprintf("shm flag %s on node %d: value %d", f.cond.ID(), f.node, f.val)
-		})
+		f.cond.WaitOn(p, f, -1)
+	}
+	f.m.SpinExit(f.node)
+}
+
+// WaitGE spins until the flag value is >= v. This covers the monotone
+// counter waits of the SMP collectives (§2.2) without any per-wait closure.
+func (f *Flag) WaitGE(p *sim.Proc, v int) {
+	if f.val >= v {
+		return
+	}
+	f.m.SpinEnter(f.node)
+	for f.val < v {
+		f.cond.WaitOn(p, f, v)
 	}
 	f.m.SpinExit(f.node)
 }
 
 // WaitFor spins until the flag equals v.
 func (f *Flag) WaitFor(p *sim.Proc, v int) {
-	f.waitUntil(p, func(x int) bool { return x == v }, v)
+	if f.val == v {
+		return
+	}
+	f.m.SpinEnter(f.node)
+	for f.val != v {
+		f.cond.WaitOn(p, f, v)
+	}
+	f.m.SpinExit(f.node)
+}
+
+// DescribeWait implements sim.WaitDescriber for stall reports.
+func (f *Flag) DescribeWait(want int) string {
+	if want >= 0 {
+		return fmt.Sprintf("shm flag %s on node %d: value %d, want %d",
+			f.cond.ID(), f.node, f.val, want)
+	}
+	return fmt.Sprintf("shm flag %s on node %d: value %d", f.cond.ID(), f.node, f.val)
 }
 
 // FlagSet is one flag per local task, as used by the SMP barrier and
@@ -101,12 +119,15 @@ func (fs *FlagSet) SetAll(v int) {
 // WaitAll spins until every flag except those listed in skip equals v.
 // The master uses it to wait for all other tasks to check in.
 func (fs *FlagSet) WaitAll(p *sim.Proc, v int, skip ...int) {
-	skipped := make(map[int]bool, len(skip))
-	for _, i := range skip {
-		skipped[i] = true
-	}
 	for i, f := range fs.flags {
-		if skipped[i] {
+		sk := false
+		for _, s := range skip {
+			if s == i {
+				sk = true
+				break
+			}
+		}
+		if sk {
 			continue
 		}
 		f.WaitFor(p, v)

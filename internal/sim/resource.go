@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Resource is a counted resource with FIFO admission, used to model
 // serialized hardware such as a NIC injection port or a DMA engine.
@@ -8,7 +11,8 @@ import "fmt"
 // grants strictly in arrival order.
 type Resource struct {
 	env   *Env
-	id    string
+	num   int    // sequence for the default id
+	id    string // cached formatted id
 	cap   int
 	inUse int
 	queue []*Proc
@@ -19,7 +23,22 @@ func (e *Env) NewResource(capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{env: e, id: e.resID("resource"), cap: capacity}
+	return &Resource{env: e, num: e.nextResNum(), cap: capacity}
+}
+
+// ID returns the resource's id.
+func (r *Resource) ID() string {
+	if r.id == "" {
+		r.id = "resource#" + strconv.Itoa(r.num)
+	}
+	return r.id
+}
+
+func (r *Resource) waitID() string { return r.ID() }
+
+// DescribeWait implements WaitDescriber for stall reports.
+func (r *Resource) DescribeWait(int) string {
+	return fmt.Sprintf("%s (in use %d/%d, %d queued)", r.ID(), r.inUse, r.cap, len(r.queue))
 }
 
 // InUse reports the number of currently held tokens.
@@ -35,9 +54,7 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	r.queue = append(r.queue, p)
-	p.parkBlocked(r.id, func() string {
-		return fmt.Sprintf("%s (in use %d/%d, %d queued)", r.id, r.inUse, r.cap, len(r.queue))
-	})
+	p.parkOn(r, r, -1, nil)
 }
 
 // Release returns one token, admitting the longest waiter if any.

@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -21,28 +22,39 @@ type Time = float64
 // Env is a simulation environment: a virtual clock plus an event queue.
 // The zero value is not usable; call NewEnv.
 type Env struct {
-	now      Time
-	queue    eventHeap
-	seq      uint64
-	live     int            // spawned processes that have not finished
-	parked   map[*Proc]bool // processes blocked with no scheduled wake-up
-	yield    chan struct{}  // running process -> scheduler handoff
-	cur      *Proc
-	stopped  bool
-	resSeq   int            // id source for conds/events (stall reports)
-	failures []ProcFailure  // processes that panicked (recovered)
+	now       Time
+	queue     eventHeap
+	seq       uint64
+	live      int            // spawned processes that have not finished
+	parked    map[*Proc]bool // processes blocked with no scheduled wake-up
+	yield     chan struct{}  // running process -> scheduler handoff
+	cur       *Proc
+	stopped   bool
+	resSeq    int           // id source for conds/events (stall reports)
+	failures  []ProcFailure // processes that panicked (recovered)
+	free      []*item       // recycled queue items (steady state allocates none)
+	processed uint64        // queue items executed so far
 }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
 	return &Env{
 		parked: make(map[*Proc]bool),
-		yield:  make(chan struct{}),
+		// Buffered so the handoff sends never block: the sender continues to
+		// its own receive (or exit) without a cross-goroutine rendezvous,
+		// halving scheduler wake-ups per process switch. Alternation is
+		// still strict — the scheduler does not proceed past wake() until it
+		// has received the process's yield.
+		yield: make(chan struct{}, 1),
 	}
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// Events returns the number of queue items (callbacks and process wake-ups)
+// executed so far. Perf harnesses use it to derive events/sec.
+func (e *Env) Events() uint64 { return e.processed }
 
 // item is one scheduled occurrence: either a callback or a process wake-up.
 type item struct {
@@ -63,13 +75,42 @@ func (h eventHeap) Less(i, j int) bool {
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
-func (h *eventHeap) Pop() (v any) { old := *h; n := len(old); v = old[n-1]; *h = old[:n-1]; return }
-func (e *Env) push(it *item)      { it.seq = e.seq; e.seq++; heap.Push(&e.queue, it) }
+func (h *eventHeap) Pop() (v any) {
+	old := *h
+	n := len(old)
+	v = old[n-1]
+	old[n-1] = nil // drop the pointer so long sweeps do not retain dead items
+	*h = old[:n-1]
+	return
+}
+
+// pushItem schedules one occurrence, reusing a recycled item if available.
+func (e *Env) pushItem(t Time, fn func(), p *Proc) {
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free = e.free[:n-1]
+		it.t, it.fn, it.p = t, fn, p
+	} else {
+		it = &item{t: t, fn: fn, p: p}
+	}
+	it.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, it)
+}
+
+// recycle returns an executed item to the free list.
+func (e *Env) recycle(it *item) {
+	it.fn = nil
+	it.p = nil
+	e.free = append(e.free, it)
+}
+
 func (e *Env) schedule(t Time, f func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.push(&item{t: t, fn: f})
+	e.pushItem(t, f, nil)
 }
 
 // At schedules fn to run at absolute time t (clamped to now).
@@ -78,20 +119,39 @@ func (e *Env) At(t Time, fn func()) { e.schedule(t, fn) }
 // After schedules fn to run d from now.
 func (e *Env) After(d Time, fn func()) { e.schedule(e.now+d, fn) }
 
+// WaitDescriber describes what a parked process is waiting for; the
+// description is only rendered if the wait lands in a stall or deadlock
+// report, so implementations may format freely. want carries the awaited
+// value recorded at park time (negative: no specific value).
+type WaitDescriber interface {
+	DescribeWait(want int) string
+}
+
+// waitable is a synchronization resource a process can park on; waitID is
+// the lazily formatted id or label used in wait-graph reports.
+type waitable interface {
+	waitID() string
+}
+
 // Proc is a simulated process. Methods on Proc must only be called from the
 // process's own goroutine (i.e. inside the function passed to Spawn);
 // exceptions (Env.Kill, Env.SetSlowdown) are called out explicitly.
 type Proc struct {
 	env    *Env
-	name   string
+	prefix string // full name, or name prefix when num >= 0
+	num    int    // index appended to prefix; -1 when prefix is the name
+	name   string // cached formatted name (built on first Name call)
 	resume chan struct{}
 	done   bool
 	killed string  // non-empty: injected crash reason, raised at next resume
 	slow   float64 // Sleep stretch factor (stall windows); 0 or 1 = none
 
 	// Wait context, set while the process is parked with no scheduled
-	// wake-up (Event/Cond/Resource waits). Used by stall reports.
-	waitRes   string        // id or label of the resource waited on
+	// wake-up (Event/Cond/Resource waits). Used by stall reports; nothing
+	// here is formatted unless a report is actually built.
+	waitOn    waitable
+	waitObj   WaitDescriber
+	waitWant  int
 	waitDesc  func() string // optional richer description, evaluated lazily
 	waitSince Time
 }
@@ -99,8 +159,19 @@ type Proc struct {
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
 
-// Name returns the name given at Spawn time.
-func (p *Proc) Name() string { return p.name }
+// Name returns the name given at Spawn time. For SpawnIndexed processes the
+// string is formatted on first use and cached: the hot spawn path never
+// allocates a name that no report will read.
+func (p *Proc) Name() string {
+	if p.name == "" {
+		if p.num < 0 {
+			p.name = p.prefix
+		} else {
+			p.name = p.prefix + strconv.Itoa(p.num)
+		}
+	}
+	return p.name
+}
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
@@ -112,13 +183,24 @@ func (p *Proc) Now() Time { return p.env.now }
 // recorded as a ProcFailure (see Env.Failures), and the process counts as
 // finished. Run surfaces recorded failures as a *CrashError.
 func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	return e.spawn(name, -1, fn)
+}
+
+// SpawnIndexed is Spawn with the name prefix+itoa(num), formatted lazily:
+// per-operation helper processes (rank bodies, isend/irecv helpers) are
+// spawned on hot paths where the name is read only by failure reports.
+func (e *Env) SpawnIndexed(prefix string, num int, fn func(*Proc)) *Proc {
+	return e.spawn(prefix, num, fn)
+}
+
+func (e *Env) spawn(prefix string, num int, fn func(*Proc)) *Proc {
+	p := &Proc{env: e, prefix: prefix, num: num, resume: make(chan struct{}, 1)}
 	e.live++
 	go func() {
 		<-p.resume // wait for first scheduling
 		defer func() {
 			if r := recover(); r != nil {
-				e.failures = append(e.failures, ProcFailure{Proc: p.name, Time: e.now, Cause: r})
+				e.failures = append(e.failures, ProcFailure{Proc: p.Name(), Time: e.now, Cause: r})
 			}
 			p.done = true
 			e.live--
@@ -127,7 +209,7 @@ func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 		p.checkKilled()
 		fn(p)
 	}()
-	e.push(&item{t: e.now, p: p})
+	e.pushItem(e.now, nil, p)
 	return p
 }
 
@@ -213,6 +295,11 @@ func (e *Env) wake(p *Proc) {
 }
 
 // park suspends the calling process until the scheduler resumes it.
+//
+// The yield send never blocks (the channel is buffered and the scheduler is
+// the sole receiver, waiting in wake); between the send and the resume
+// receive the process touches no simulation state, so the scheduler may
+// safely start running before this goroutine reaches the receive.
 func (p *Proc) park() {
 	p.env.yield <- struct{}{}
 	<-p.resume
@@ -228,7 +315,7 @@ func (p *Proc) Sleep(d Time) {
 	if p.slow > 1 {
 		d *= p.slow
 	}
-	p.env.push(&item{t: p.env.now + d, p: p})
+	p.env.pushItem(p.env.now+d, nil, p)
 	p.park()
 }
 
@@ -236,17 +323,19 @@ func (p *Proc) Sleep(d Time) {
 // already-scheduled work at this timestamp run first.
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// parkBlocked blocks the process indefinitely; something else must hold a
-// reference and wake it via an Event or Cond. Used by synchronization
-// primitives in this package. res identifies the resource waited on and
-// desc (optional) provides a richer description; both feed stall reports.
-func (p *Proc) parkBlocked(res string, desc func() string) {
+// parkOn blocks the process indefinitely on a waitable; something else must
+// hold a reference and wake it via an Event or Cond. obj/want or desc
+// (mutually optional) enrich stall reports; nothing is formatted here.
+func (p *Proc) parkOn(on waitable, obj WaitDescriber, want int, desc func() string) {
 	p.env.parked[p] = true
-	p.waitRes = res
+	p.waitOn = on
+	p.waitObj = obj
+	p.waitWant = want
 	p.waitDesc = desc
 	p.waitSince = p.env.now
 	p.park()
-	p.waitRes = ""
+	p.waitOn = nil
+	p.waitObj = nil
 	p.waitDesc = nil
 }
 
@@ -257,10 +346,10 @@ func (e *Env) unblock(p *Proc) {
 			// on a waiters list. Nothing to wake.
 			return
 		}
-		panic("sim: unblock of process that is not parked: " + p.name)
+		panic("sim: unblock of process that is not parked: " + p.Name())
 	}
 	delete(e.parked, p)
-	e.push(&item{t: e.now, p: p})
+	e.pushItem(e.now, nil, p)
 }
 
 // BlockedProc is a snapshot of one process blocked with no scheduled
@@ -278,11 +367,17 @@ type BlockedProc struct {
 func (e *Env) Blocked() []BlockedProc {
 	out := make([]BlockedProc, 0, len(e.parked))
 	for p := range e.parked {
-		b := BlockedProc{Name: p.name, Since: p.waitSince, Resource: p.waitRes}
-		if p.waitDesc != nil {
+		b := BlockedProc{Name: p.Name(), Since: p.waitSince}
+		if p.waitOn != nil {
+			b.Resource = p.waitOn.waitID()
+		}
+		switch {
+		case p.waitDesc != nil:
 			b.Waiting = p.waitDesc()
-		} else {
-			b.Waiting = p.waitRes
+		case p.waitObj != nil:
+			b.Waiting = p.waitObj.DescribeWait(p.waitWant)
+		default:
+			b.Waiting = b.Resource
 		}
 		out = append(out, b)
 	}
@@ -290,29 +385,38 @@ func (e *Env) Blocked() []BlockedProc {
 	return out
 }
 
-// resID assigns a deterministic id to a synchronization resource.
-func (e *Env) resID(kind string) string {
+// nextResNum assigns a deterministic sequence number to a synchronization
+// resource; the "kind#N" id string is only formatted if a report asks.
+func (e *Env) nextResNum() int {
 	e.resSeq++
-	return fmt.Sprintf("%s#%d", kind, e.resSeq)
+	return e.resSeq
 }
 
 // Event is a one-shot occurrence processes can wait on. After Trigger,
 // waiting is a no-op. The zero value is not usable; use Env.NewEvent.
 type Event struct {
 	env     *Env
-	id      string
+	num     int    // sequence for the default id
+	id      string // label from Named, or cached formatted id
 	done    bool
 	waiters []*Proc
 }
 
 // NewEvent returns an untriggered event.
-func (e *Env) NewEvent() *Event { return &Event{env: e, id: e.resID("event")} }
+func (e *Env) NewEvent() *Event { return &Event{env: e, num: e.nextResNum()} }
 
 // Named sets a human-readable label used in stall reports and returns ev.
 func (ev *Event) Named(name string) *Event { ev.id = name; return ev }
 
 // ID returns the event's id or label.
-func (ev *Event) ID() string { return ev.id }
+func (ev *Event) ID() string {
+	if ev.id == "" {
+		ev.id = "event#" + strconv.Itoa(ev.num)
+	}
+	return ev.id
+}
+
+func (ev *Event) waitID() string { return ev.ID() }
 
 // Done reports whether the event has been triggered.
 func (ev *Event) Done() bool { return ev.done }
@@ -339,7 +443,7 @@ func (p *Proc) Wait(ev *Event) {
 		return
 	}
 	ev.waiters = append(ev.waiters, p)
-	p.parkBlocked(ev.id, nil)
+	p.parkOn(ev, nil, -1, nil)
 }
 
 // WaitAll blocks until every event has been triggered.
@@ -353,27 +457,47 @@ func (p *Proc) WaitAll(evs ...*Event) {
 // Unlike Event it can be signalled repeatedly.
 type Cond struct {
 	env     *Env
-	id      string
+	num     int    // sequence for the default id
+	id      string // label from Named, or cached formatted id
 	waiters []*Proc
 }
 
 // NewCond returns a condition bound to the environment.
-func (e *Env) NewCond() *Cond { return &Cond{env: e, id: e.resID("cond")} }
+func (e *Env) NewCond() *Cond { return &Cond{env: e, num: e.nextResNum()} }
 
 // Named sets a human-readable label used in stall reports and returns c.
 func (c *Cond) Named(name string) *Cond { c.id = name; return c }
 
 // ID returns the condition's id or label.
-func (c *Cond) ID() string { return c.id }
+func (c *Cond) ID() string {
+	if c.id == "" {
+		c.id = "cond#" + strconv.Itoa(c.num)
+	}
+	return c.id
+}
+
+func (c *Cond) waitID() string { return c.ID() }
 
 // Wait blocks the process until the next Broadcast.
-func (c *Cond) Wait(p *Proc) { c.WaitReason(p, nil) }
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.parkOn(c, nil, -1, nil)
+}
 
 // WaitReason is Wait with a description of what the process waits for,
 // evaluated lazily if the wait ends up in a stall or deadlock report.
 func (c *Cond) WaitReason(p *Proc, desc func() string) {
 	c.waiters = append(c.waiters, p)
-	p.parkBlocked(c.id, desc)
+	p.parkOn(c, nil, -1, desc)
+}
+
+// WaitOn is the allocation-free flavor of WaitReason: instead of a closure
+// it records a WaitDescriber plus the awaited value, formatted only if the
+// wait lands in a stall or deadlock report. Hot synchronization paths (shm
+// flags, RMA counters) use it so a park sets up no heap state at all.
+func (c *Cond) WaitOn(p *Proc, obj WaitDescriber, want int) {
+	c.waiters = append(c.waiters, p)
+	p.parkOn(c, obj, want, nil)
 }
 
 // Broadcast wakes every currently waiting process at the current time.
@@ -462,11 +586,16 @@ func (e *Env) RunUntil(limit Time) error {
 		}
 		heap.Pop(&e.queue)
 		e.now = it.t
-		if it.fn != nil {
-			it.fn()
+		e.processed++
+		// Recycle before executing so callbacks can reuse the slot; the
+		// fields are copied out first.
+		fn, p := it.fn, it.p
+		e.recycle(it)
+		if fn != nil {
+			fn()
 			continue
 		}
-		e.wake(it.p)
+		e.wake(p)
 	}
 	if len(e.failures) > 0 {
 		return &CrashError{Failures: e.Failures()}

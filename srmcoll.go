@@ -219,6 +219,7 @@ type Result struct {
 	PerRank []float64    // per-rank completion times
 	Stats   trace.Stats  // data-movement and protocol counters
 	Faults  FaultSummary // faults actually injected (zero without a plan)
+	Events  uint64       // simulator queue items executed during the run
 }
 
 // Comm is a rank's handle inside a Run body: its identity plus the
@@ -608,7 +609,6 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	counters := make(map[string]*SharedCounter)
 	res := &Result{PerRank: make([]float64, m.P())}
 	procs := make([]*sim.Proc, m.P())
-	rankOf := make(map[string]int, m.P())
 	// Schedule fault callbacks before spawning the ranks so a window opening
 	// at t=0 is already in force when the first rank runs. The closures index
 	// procs at fire time; the slice is fully populated before the run starts.
@@ -617,9 +617,7 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	}
 	for r := 0; r < m.P(); r++ {
 		r := r
-		name := fmt.Sprintf("rank%d", r)
-		rankOf[name] = r
-		procs[r] = env.Spawn(name, func(p *sim.Proc) {
+		procs[r] = env.SpawnIndexed("rank", r, func(p *sim.Proc) {
 			body(&Comm{p: p, rank: r, size: m.P(), m: m, dom: dom,
 				counters: counters, coll: coll})
 			res.PerRank[r] = p.Now()
@@ -638,7 +636,7 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	if runErr != nil {
 		var ce *sim.CrashError
 		if errors.As(runErr, &ce) {
-			return nil, runErrorFrom(ce.Failures[0], rankOf)
+			return nil, runErrorFrom(ce.Failures[0], procs)
 		}
 		return nil, runErr
 	}
@@ -648,6 +646,7 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 		}
 	}
 	res.Stats = *m.Stats
+	res.Events = env.Events()
 	if inj != nil {
 		res.Faults = inj.Summary()
 	}
@@ -674,9 +673,17 @@ func (cl *Cluster) scheduleFaults(env *sim.Env, inj *fault.Injector, procs []*si
 	}
 }
 
-// runErrorFrom converts a recovered process failure into a *RunError.
-func runErrorFrom(f sim.ProcFailure, rankOf map[string]int) *RunError {
-	re := &RunError{Rank: rankOf[f.Proc], Op: "run"}
+// runErrorFrom converts a recovered process failure into a *RunError. The
+// failed rank is resolved by scanning the (small) proc slice — a cold path,
+// so Run need not build an eager name-to-rank map.
+func runErrorFrom(f sim.ProcFailure, procs []*sim.Proc) *RunError {
+	re := &RunError{Op: "run"}
+	for r, p := range procs {
+		if p.Name() == f.Proc {
+			re.Rank = r
+			break
+		}
+	}
 	switch cause := f.Cause.(type) {
 	case *check.SizeError:
 		re.Op = cause.Op
