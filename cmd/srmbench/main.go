@@ -12,6 +12,7 @@
 //	srmbench -csv            # CSV instead of aligned text
 //	srmbench -j 8            # sweep worker count (output identical to -j 1)
 //	srmbench -benchjson F    # write the perf-regression report to F
+//	srmbench -trace F        # trace a basket of collectives to Chrome JSON
 package main
 
 import (
@@ -38,9 +39,37 @@ func main() {
 		"concurrent sweep workers; results are byte-identical at any value (1 = serial)")
 	benchjson := flag.String("benchjson", "",
 		"run the fixed perf-regression basket and write the JSON report to this file")
+	traceOut := flag.String("trace", "",
+		"trace a small basket of collectives and write Chrome trace-event JSON to this file")
 	flag.Parse()
 
-	if *fig == "" && !*headline && *ablation == "" && !*extension && *benchjson == "" {
+	// Validate every flag before doing any work, so a typo fails fast with a
+	// non-zero exit instead of surfacing mid-run (or never, for values only
+	// reached after hours of sweeping).
+	validFigs := map[string]bool{"": true, "2": true, "6": true, "7": true, "8": true,
+		"9": true, "10": true, "11": true, "12": true, "all": true}
+	validAbls := map[string]bool{"": true, "trees": true, "smpbcast": true, "yield": true,
+		"chunks": true, "eager": true, "interrupts": true, "late": true, "15of16": true,
+		"daemons": true, "model": true, "all": true}
+	bad := false
+	if !validFigs[*fig] {
+		fmt.Fprintf(os.Stderr, "srmbench: unknown figure %q\n", *fig)
+		bad = true
+	}
+	if !validAbls[*ablation] {
+		fmt.Fprintf(os.Stderr, "srmbench: unknown ablation %q\n", *ablation)
+		bad = true
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "srmbench: -j must be >= 1, got %d\n", *jobs)
+		bad = true
+	}
+	if !bad && *fig == "" && !*headline && *ablation == "" && !*extension &&
+		*benchjson == "" && *traceOut == "" {
+		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson or -trace")
+		bad = true
+	}
+	if bad {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -63,6 +92,21 @@ func main() {
 	g := exp.DefaultGrid()
 	if *quick {
 		g = exp.QuickGrid()
+	}
+
+	if *traceOut != "" {
+		js, report, err := exp.RunTraceBasket(g)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		js = append(js, '\n')
+		if err := os.WriteFile(*traceOut, js, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+		fmt.Print(report)
 	}
 	emit := func(t *exp.Table) {
 		if *csv {

@@ -1,0 +1,115 @@
+// Command tracelint validates a Chrome trace-event JSON file against the
+// subset of the trace-event format this repository emits, so CI can catch
+// exporter regressions without loading the file into a browser:
+//
+//	tracelint out.json
+//
+// Checks: the document is an object with a traceEvents array; every event
+// has a string name, a known phase (X, b, e or M), numeric ts/pid/tid;
+// complete ("X") events carry a non-negative dur; async ("b"/"e") events
+// carry an id and pair up per (pid, id, name). Exit status 1 on the first
+// malformed file, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name *string  `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *float64 `json:"pid"`
+	Tid  *float64 `json:"tid"`
+	ID   string   `json:"id"`
+}
+
+type file struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+func lint(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: not a trace-event document: %v", path, err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("%s: missing traceEvents array", path)
+	}
+	// Async begin/end events must pair up within (pid, id, name).
+	type akey struct {
+		pid  float64
+		id   string
+		name string
+	}
+	open := make(map[akey]int)
+	for i, raw := range f.TraceEvents {
+		var ev event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("%s: event %d: %v", path, i, err)
+		}
+		if ev.Name == nil {
+			return fmt.Errorf("%s: event %d: missing name", path, i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("%s: event %d (%s): missing pid/tid", path, i, *ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			continue // metadata: no timestamp requirements
+		case "X":
+			if ev.Ts == nil {
+				return fmt.Errorf("%s: event %d (%s): missing ts", path, i, *ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("%s: event %d (%s): X event needs dur >= 0", path, i, *ev.Name)
+			}
+		case "b", "e":
+			if ev.Ts == nil {
+				return fmt.Errorf("%s: event %d (%s): missing ts", path, i, *ev.Name)
+			}
+			if ev.ID == "" {
+				return fmt.Errorf("%s: event %d (%s): async event needs an id", path, i, *ev.Name)
+			}
+			k := akey{*ev.Pid, ev.ID, *ev.Name}
+			if ev.Ph == "b" {
+				open[k]++
+			} else if open[k] == 0 {
+				return fmt.Errorf("%s: event %d (%s): async end without begin (pid %g id %s)",
+					path, i, *ev.Name, *ev.Pid, ev.ID)
+			} else {
+				open[k]--
+			}
+		default:
+			return fmt.Errorf("%s: event %d (%s): unexpected phase %q", path, i, *ev.Name, ev.Ph)
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			return fmt.Errorf("%s: %d unmatched async begin(s) for pid %g id %s name %s",
+				path, n, k.pid, k.id, k.name)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint FILE...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := lint(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tracelint: %s ok\n", path)
+	}
+}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"srmcoll/internal/dtype"
 	"srmcoll/internal/rma"
 	"srmcoll/internal/shm"
 	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
 	"srmcoll/internal/tree"
 )
 
@@ -96,13 +98,13 @@ func newAllreduceState(g *Group, size int, ds dataspec) *allreduceState {
 		a.resArr = make([]*rma.Counter, nn)
 		for x := 0; x < nn; x++ {
 			a.foldSlot[x] = make([]byte, size)
-			a.foldArr[x] = s.dom.NewCounter(0)
-			a.resArr[x] = s.dom.NewCounter(0)
+			a.foldArr[x] = s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive)
+			a.resArr[x] = s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive)
 			a.rdSlot[x] = make([][]byte, rounds)
 			a.rdArr[x] = make([]*rma.Counter, rounds)
 			for r := 0; r < rounds; r++ {
 				a.rdSlot[x][r] = make([]byte, size)
-				a.rdArr[x][r] = s.dom.NewCounter(0)
+				a.rdArr[x][r] = s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive)
 			}
 		}
 	} else {
@@ -115,9 +117,15 @@ func newAllreduceState(g *Group, size int, ds dataspec) *allreduceState {
 		a.chunkDone = shm.NewFlag(s.m, g.lay.nodes[0])
 		for x := 0; x < nn; x++ {
 			a.pslot[x] = [2][]byte{make([]byte, chunkBytes), make([]byte, chunkBytes)}
-			a.arr[x] = [2]*rma.Counter{s.dom.NewCounter(0), s.dom.NewCounter(0)}
-			a.credit[x] = s.dom.NewCounter(2)
-			a.bArr[x] = [2]*rma.Counter{s.dom.NewCounter(0), s.dom.NewCounter(0)}
+			a.arr[x] = [2]*rma.Counter{
+				s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+				s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+			}
+			a.credit[x] = s.dom.NewCounter(2).TraceClass(trace.ClassWaitCredit)
+			a.bArr[x] = [2]*rma.Counter{
+				s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+				s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+			}
 			a.helperDone[x] = s.m.Env.NewEvent()
 		}
 	}
@@ -248,6 +256,13 @@ func (a *allreduceState) masterLarge(p *sim.Proc, ep *rma.Endpoint, x int, send,
 
 	// Broadcast-side helper.
 	s.m.Env.SpawnIndexed("srm-arb-", x, func(hp *sim.Proc) {
+		if tr := s.m.Env.Trace; tr != nil {
+			// The helper gets its own timeline above the rank tracks so its
+			// broadcast-stage spans do not interleave with the reduce side.
+			ht := s.m.P() + ep.Rank
+			hp.SetTrack(ht)
+			tr.NameTrack(ht, "rank"+strconv.Itoa(ep.Rank)+"-bcast")
+		}
 		defer a.helperDone[x].Trigger()
 		for k, c := range a.sp {
 			if atRoot {

@@ -5,6 +5,7 @@ import (
 
 	"srmcoll/internal/rma"
 	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
 )
 
 // bcastState is the shared state of one broadcast operation (§2.4, Fig. 4).
@@ -66,9 +67,15 @@ func newBcastState(g *Group, root, size int) *bcastState {
 	for x, nd := range g.lay.nodes {
 		if !b.large {
 			b.netBuf[x] = [2][]byte{make([]byte, chunkBytes), make([]byte, chunkBytes)}
-			b.freeC[x] = [2]*rma.Counter{s.dom.NewCounter(1), s.dom.NewCounter(1)}
+			b.freeC[x] = [2]*rma.Counter{
+				s.dom.NewCounter(1).TraceClass(trace.ClassWaitCredit),
+				s.dom.NewCounter(1).TraceClass(trace.ClassWaitCredit),
+			}
 		}
-		b.arr[x] = [2]*rma.Counter{s.dom.NewCounter(0), s.dom.NewCounter(0)}
+		b.arr[x] = [2]*rma.Counter{
+			s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+			s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+		}
 		b.registered[x] = s.m.Env.NewEvent()
 		b.pub[x] = s.newPublisher(nd, g.lay.li[b.emb.masters[x]], len(g.lay.local[x]), chunkBytes)
 	}
@@ -123,12 +130,17 @@ func (b *bcastState) masterSmall(p *sim.Proc, ep *rma.Endpoint, x int, buf []byt
 	atRoot := x == b.emb.inter.Root
 	for k, c := range b.sp {
 		parity := k % 2
+		slot := -1
 		var src []byte
 		if atRoot {
 			src = buf[c.off : c.off+c.n]
 		} else {
 			// Step: wait for the chunk to land in the shared buffer.
 			ep.Waitcntr(p, b.arr[x][parity], 1)
+			// The chunk now occupies this parity's shared receive slot; the
+			// span closes when the node is done with the buffer (credit
+			// returned, or the last chunk fully forwarded and published).
+			slot = g.s.m.Env.Trace.Begin(p.Track(), trace.ClassChunkSlot, "chunk:slot", int64(c.n))
 			src = b.netBuf[x][parity][:c.n]
 		}
 		// Send down the inter-node tree first (§2.4: "the received data is
@@ -155,6 +167,7 @@ func (b *bcastState) masterSmall(p *sim.Proc, ep *rma.Endpoint, x int, buf []byt
 				ep.PutZero(p, g.s.dom.Endpoint(b.emb.masters[parent]), b.freeC[x][parity])
 			}
 		}
+		g.s.m.Env.Trace.End(slot)
 	}
 	if atRoot {
 		b.pub[x].waitConsumed(p, len(b.sp)-1)

@@ -6,6 +6,7 @@ import (
 	"srmcoll/internal/dtype"
 	"srmcoll/internal/rma"
 	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
 )
 
 // dataspec bundles the element type and operator of a reduction.
@@ -77,8 +78,11 @@ func newReduceState(g *Group, root, size int, ds dataspec) *reduceState {
 	for x, nd := range g.lay.nodes {
 		r.rn[x] = s.newRedNode(nd, g.lay.li[r.emb.masters[x]], len(g.lay.local[x]), chunkBytes)
 		r.pslot[x] = [2][]byte{make([]byte, chunkBytes), make([]byte, chunkBytes)}
-		r.arr[x] = [2]*rma.Counter{s.dom.NewCounter(0), s.dom.NewCounter(0)}
-		r.credit[x] = s.dom.NewCounter(2)
+		r.arr[x] = [2]*rma.Counter{
+			s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+			s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+		}
+		r.credit[x] = s.dom.NewCounter(2).TraceClass(trace.ClassWaitCredit)
 	}
 	return r
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"srmcoll/internal/shm"
 	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
 	"srmcoll/internal/tree"
 )
 
@@ -54,6 +55,7 @@ func (pub *smpPub) Publish(p *sim.Proc, k int, src []byte, direct bool) {
 	if pub.done.Len() == 1 {
 		return // no other task on the node
 	}
+	id := pub.s.m.Env.Trace.Begin(p.Track(), trace.ClassSmp, "smp:publish", int64(len(src)))
 	parity := k % 2
 	if direct {
 		pub.cur[parity] = src
@@ -65,15 +67,18 @@ func (pub *smpPub) Publish(p *sim.Proc, k int, src []byte, direct bool) {
 		pub.cur[parity] = pub.buf[parity][:len(src)]
 	}
 	pub.ready.Set(k + 1)
+	pub.s.m.Env.Trace.End(id)
 }
 
 // Consume copies chunk k into dst at a non-master task.
 func (pub *smpPub) Consume(p *sim.Proc, local, k int, dst []byte) {
+	id := pub.s.m.Env.Trace.Begin(p.Track(), trace.ClassSmp, "smp:consume", int64(len(dst)))
 	pub.ready.WaitGE(p, k+1)
 	if len(dst) > 0 {
 		pub.s.m.Memcpy(p, pub.node, dst, pub.cur[k%2][:len(dst)])
 	}
 	pub.done.Flag(local).Set(k + 1)
+	pub.s.m.Env.Trace.End(id)
 }
 
 // treePub is the tree-based SMP broadcast variant §2.2 measured and

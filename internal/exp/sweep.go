@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -30,11 +32,26 @@ func SetWorkers(n int) {
 // Workers returns the current sweep worker count.
 func Workers() int { return int(atomic.LoadInt64(&workers)) }
 
+// MultiPanic carries the recovered values of several sweep workers that
+// panicked in the same forEach call, in worker-slot order. forEach raises
+// it (instead of an arbitrary single value) so multi-point failures are
+// not masked by whichever worker finished first.
+type MultiPanic []any
+
+func (m MultiPanic) Error() string {
+	parts := make([]string, len(m))
+	for i, r := range m {
+		parts[i] = fmt.Sprintf("%v", r)
+	}
+	return fmt.Sprintf("exp: %d sweep workers panicked: %s", len(m), strings.Join(parts, "; "))
+}
+
 // forEach runs fn(0..n-1), fanning the calls across min(Workers(), n)
 // goroutines. Indices are claimed atomically, so workers stay busy however
 // uneven the per-point cost is. fn must confine its writes to data owned by
-// index i. A panic in any fn is re-raised in the caller after all workers
-// have stopped.
+// index i. A panic in a single fn is re-raised in the caller after all
+// workers have stopped; panics in several workers are re-raised together
+// as a MultiPanic.
 func forEach(n int, fn func(i int)) {
 	w := Workers()
 	if w > n {
@@ -68,10 +85,18 @@ func forEach(n int, fn func(i int)) {
 		}(k)
 	}
 	wg.Wait()
+	var agg MultiPanic
 	for _, r := range panics {
 		if r != nil {
-			panic(r)
+			agg = append(agg, r)
 		}
+	}
+	switch len(agg) {
+	case 0:
+	case 1:
+		panic(agg[0])
+	default:
+		panic(agg)
 	}
 }
 

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -50,6 +52,50 @@ func TestForEachPropagatesPanic(t *testing.T) {
 		if i == 5 {
 			panic("boom")
 		}
+	})
+}
+
+func TestForEachSinglePanicUnwrapped(t *testing.T) {
+	// A lone worker panic re-raises the original value, not a MultiPanic.
+	prev := Workers()
+	defer SetWorkers(prev)
+	SetWorkers(4)
+	defer func() {
+		r := recover()
+		if r != "boom" {
+			t.Fatalf("recover() = %v (%T), want the original panic value", r, r)
+		}
+	}()
+	forEach(64, func(i int) {
+		if i == 63 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachAggregatesAllPanics(t *testing.T) {
+	// When several workers panic, every recovered value must surface: the
+	// old code re-raised only the first non-nil slot, masking the rest.
+	prev := Workers()
+	defer SetWorkers(prev)
+	SetWorkers(4)
+	defer func() {
+		r := recover()
+		mp, ok := r.(MultiPanic)
+		if !ok {
+			t.Fatalf("recover() = %v (%T), want MultiPanic", r, r)
+		}
+		// Each worker panics on its first claimed index, so with 4 workers
+		// and 8 indices all 4 workers record a panic.
+		if len(mp) != 4 {
+			t.Fatalf("MultiPanic carries %d values, want 4: %v", len(mp), mp)
+		}
+		if msg := mp.Error(); !strings.Contains(msg, "4 sweep workers") {
+			t.Fatalf("Error() = %q, want the worker count", msg)
+		}
+	}()
+	forEach(8, func(i int) {
+		panic(fmt.Sprintf("boom %d", i))
 	})
 }
 

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTraceBasketWorkerCountInvisible extends the sweep determinism
+// guarantee to the trace basket: the merged Chrome JSON and the
+// critical-path report must be byte-identical whether the basket points
+// run serially or on 8 workers.
+func TestTraceBasketWorkerCountInvisible(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	g := QuickGrid()
+
+	SetWorkers(1)
+	js1, rep1, err := RunTraceBasket(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(8)
+	js8, rep8, err := RunTraceBasket(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js8) {
+		t.Error("trace JSON differs between -j 1 and -j 8")
+	}
+	if rep1 != rep8 {
+		t.Errorf("critical-path report differs between -j 1 and -j 8:\n%q\n%q", rep1, rep8)
+	}
+	for _, frag := range []string{"bcast-16384B", "bcast-131072B", "reduce-32768B",
+		"allreduce-8192B", "barrier-p", "dominant"} {
+		if !strings.Contains(rep1, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep1)
+		}
+	}
+	if !bytes.Contains(js1, []byte(`"traceEvents"`)) {
+		t.Error("JSON missing traceEvents")
+	}
+}

@@ -272,9 +272,11 @@ func (m *Machine) Memcpy(p *sim.Proc, node int, dst, src []byte) {
 	nd := m.nodes[node]
 	d := m.CopyTime(len(src)) * m.copyFactor(nd)
 	d += m.DaemonExtra(node, d)
+	id := m.Env.Trace.Begin(p.Track(), trace.ClassShmCopy, "shm:copy", int64(len(src)))
 	nd.activeCopies++
 	p.Sleep(d)
 	nd.activeCopies--
+	m.Env.Trace.End(id)
 	copy(dst, src)
 	m.Stats.AddCopy(len(src))
 }
@@ -285,9 +287,11 @@ func (m *Machine) ChargeCopy(p *sim.Proc, node, n int) {
 	nd := m.nodes[node]
 	d := m.CopyTime(n) * m.copyFactor(nd)
 	d += m.DaemonExtra(node, d)
+	id := m.Env.Trace.Begin(p.Track(), trace.ClassShmCopy, "shm:copy", int64(n))
 	nd.activeCopies++
 	p.Sleep(d)
 	nd.activeCopies--
+	m.Env.Trace.End(id)
 }
 
 // CombineTime returns the cost of an elementwise reduction over n bytes.

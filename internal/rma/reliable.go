@@ -3,6 +3,7 @@ package rma
 import (
 	"srmcoll/internal/fault"
 	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
 )
 
 // This file adds transport robustness to the put path. The paper's
@@ -33,6 +34,11 @@ type chKey struct{ src, dst int }
 // exponential backoff; zero values derive defaults from the machine's
 // network parameters (several round trips, so clean runs never retransmit
 // spuriously).
+//
+// EnableReliable is idempotent: calling it again mid-run adjusts the
+// timeouts but keeps the per-channel sequence and dedup state, so puts
+// already in flight keep their numbers and stale retransmits are still
+// recognized as duplicates.
 func (d *Domain) EnableReliable(ackTimeout, backoffCap sim.Time) {
 	cfg := d.m.Cfg
 	if ackTimeout <= 0 {
@@ -47,8 +53,10 @@ func (d *Domain) EnableReliable(ackTimeout, backoffCap sim.Time) {
 	d.reliable = true
 	d.ackTimeout = ackTimeout
 	d.backoffCap = backoffCap
-	d.sendSeq = make(map[chKey]int)
-	d.seen = make(map[chKey]map[int]bool)
+	if d.sendSeq == nil {
+		d.sendSeq = make(map[chKey]int)
+		d.seen = make(map[chKey]map[int]bool)
+	}
 }
 
 // Reliable reports whether the domain is in reliable-delivery mode.
@@ -57,14 +65,21 @@ func (d *Domain) Reliable() bool { return d.reliable }
 // wirePut is the inter-node put path when faults or reliable mode are
 // active. snap is the already-snapshotted payload, owned by the machine's
 // buffer pool; this path recycles it after the last delivery reads it (a
-// duplicated put reads it twice, a dropped one never).
-func (d *Domain) wirePut(src, target *Endpoint, dst, snap []byte, origin, tgt, compl *Counter) {
+// duplicated put reads it twice, a dropped one never). par is the issuing
+// process's open trace span (-1 when tracing is off).
+func (d *Domain) wirePut(src, target *Endpoint, par int, dst, snap []byte, origin, tgt, compl *Counter) {
 	if d.reliable {
-		d.reliablePut(src, target, dst, snap, origin, tgt, compl)
+		d.reliablePut(src, target, par, dst, snap, origin, tgt, compl)
 		return
 	}
 	m := d.m
+	tr := m.Env.Trace
 	injectEnd, arrival := m.NetInject(src.Node, len(snap))
+	g := -1
+	if tr != nil {
+		g = tr.NewGroup()
+		tr.Add(g, par, trace.ClassPutInject, "put:inject", int64(len(snap)), m.Env.Now(), injectEnd)
+	}
 	if origin != nil {
 		m.Env.At(injectEnd, func() { origin.Incr(1) })
 	}
@@ -74,16 +89,22 @@ func (d *Domain) wirePut(src, target *Endpoint, dst, snap []byte, origin, tgt, c
 	}
 	if v.Drop {
 		// Lost in the switch; without reliable delivery nobody notices.
+		if tr != nil {
+			tr.Add(g, par, trace.ClassPutWire, "put:drop", int64(len(snap)), injectEnd, arrival)
+		}
 		m.Stats.Drops++
 		m.Buffers.Put(snap) // no delivery will ever read the snapshot
 		return
+	}
+	if tr != nil {
+		tr.Add(g, par, trace.ClassPutWire, "put:wire", int64(len(snap)), injectEnd, arrival+v.Delay)
 	}
 	reads := 1
 	if v.Dup {
 		reads = 2
 	}
 	deliver := func() {
-		target.deliver(func() {
+		target.deliver(g, par, func() {
 			copy(dst, snap)
 			if reads--; reads == 0 {
 				m.Buffers.Put(snap)
@@ -92,6 +113,9 @@ func (d *Domain) wirePut(src, target *Endpoint, dst, snap []byte, origin, tgt, c
 				tgt.Incr(1)
 			}
 			if compl != nil {
+				if tr != nil {
+					tr.Add(g, par, trace.ClassPutAck, "put:ack", 0, m.Env.Now(), m.Env.Now()+m.Cfg.NetLatency)
+				}
 				m.Env.After(m.Cfg.NetLatency, func() { compl.Incr(1) })
 			}
 		})
@@ -100,14 +124,24 @@ func (d *Domain) wirePut(src, target *Endpoint, dst, snap []byte, origin, tgt, c
 	if v.Dup {
 		// The duplicate takes one extra wire latency and is delivered in
 		// full — unreliable mode has no dedup, so counters double-fire.
+		if tr != nil {
+			tr.Add(g, par, trace.ClassPutWire, "put:dup", int64(len(snap)), injectEnd, arrival+v.Delay+m.Cfg.NetLatency)
+		}
 		m.Env.At(arrival+v.Delay+m.Cfg.NetLatency, deliver)
 	}
 }
 
 // reliablePut implements sequence numbers, ack-based retransmit with
-// bounded exponential backoff, and duplicate suppression for one put.
-func (d *Domain) reliablePut(src, target *Endpoint, dst, snap []byte, origin, tgt, compl *Counter) {
+// bounded exponential backoff, and duplicate suppression for one put. par
+// is the issuing process's open trace span (-1 when tracing is off); every
+// (re)transmission of the put records into one trace group.
+func (d *Domain) reliablePut(src, target *Endpoint, par int, dst, snap []byte, origin, tgt, compl *Counter) {
 	m := d.m
+	tr := m.Env.Trace
+	g := -1
+	if tr != nil {
+		g = tr.NewGroup()
+	}
 	key := chKey{src.Rank, target.Rank}
 	seq := d.sendSeq[key]
 	d.sendSeq[key] = seq + 1
@@ -125,7 +159,7 @@ func (d *Domain) reliablePut(src, target *Endpoint, dst, snap []byte, origin, tg
 			m.Stats.DupsSuppressed++
 		} else {
 			seen[seq] = true
-			target.deliver(func() {
+			target.deliver(g, par, func() {
 				copy(dst, snap)
 				// Exactly-once delivery means this copy is the only read of
 				// the snapshot's contents: duplicates are suppressed above
@@ -143,7 +177,13 @@ func (d *Domain) reliablePut(src, target *Endpoint, dst, snap []byte, origin, tg
 		// the data is safely at the target node.
 		_, ackArrival := m.NetInject(target.Node, 0)
 		if m.Faults != nil && m.Faults.AckDrop(target.Rank, src.Rank) {
+			if tr != nil {
+				tr.Add(g, par, trace.ClassPutAck, "put:ack:drop", 0, m.Env.Now(), ackArrival)
+			}
 			return // ack lost; the origin will time out and retransmit
+		}
+		if tr != nil {
+			tr.Add(g, par, trace.ClassPutAck, "put:ack", 0, m.Env.Now(), ackArrival)
 		}
 		m.Env.At(ackArrival, func() {
 			if acked {
@@ -159,6 +199,9 @@ func (d *Domain) reliablePut(src, target *Endpoint, dst, snap []byte, origin, tg
 	var attempt func(try int)
 	attempt = func(try int) {
 		injectEnd, arrival := m.NetInject(src.Node, len(snap))
+		if tr != nil {
+			tr.Add(g, par, trace.ClassPutInject, "put:inject", int64(len(snap)), m.Env.Now(), injectEnd)
+		}
 		if try == 0 && origin != nil {
 			m.Env.At(injectEnd, func() { origin.Incr(1) })
 		}
@@ -167,10 +210,19 @@ func (d *Domain) reliablePut(src, target *Endpoint, dst, snap []byte, origin, tg
 			v = m.Faults.Put(src.Rank, target.Rank)
 		}
 		if v.Drop {
+			if tr != nil {
+				tr.Add(g, par, trace.ClassPutWire, "put:drop", int64(len(snap)), injectEnd, arrival)
+			}
 			m.Stats.Drops++
 		} else {
+			if tr != nil {
+				tr.Add(g, par, trace.ClassPutWire, "put:wire", int64(len(snap)), injectEnd, arrival+v.Delay)
+			}
 			m.Env.At(arrival+v.Delay, handleArrival)
 			if v.Dup {
+				if tr != nil {
+					tr.Add(g, par, trace.ClassPutWire, "put:dup", int64(len(snap)), injectEnd, arrival+v.Delay+m.Cfg.NetLatency)
+				}
 				m.Env.At(arrival+v.Delay+m.Cfg.NetLatency, handleArrival)
 			}
 		}

@@ -105,6 +105,40 @@ func TestReliableAckDropForcesRetransmit(t *testing.T) {
 	}
 }
 
+func TestEnableReliableIdempotent(t *testing.T) {
+	// Calling EnableReliable again (e.g. to tighten timeouts mid-run) must
+	// not discard the per-channel sequence counters and dedup state. The
+	// second call here lands between a put's first delivery and its forced
+	// duplicate: if the call re-made the seen map, the duplicate would no
+	// longer be recognized and would hit the target counter twice.
+	env, m, d := faultyPair(fault.Plan{Seed: 5, Dup: 1, Reliable: true})
+	d.EnableReliable(0, 0) // immediate re-enable before any traffic: no-op
+	tgt := d.NewCounter(0)
+	dst := make([]byte, 4)
+	env.Spawn("recv", func(p *sim.Proc) {
+		ep := d.Endpoint(1)
+		ep.Waitcntr(p, tgt, 1)
+		d.EnableReliable(0, 0) // re-enable with the duplicate still in flight
+		p.Sleep(500)
+		ep.Probe(p)
+		if tgt.Value() != 0 {
+			t.Errorf("duplicate delivered after re-enable: counter %d, want 0", tgt.Value())
+		}
+	})
+	env.Spawn("send", func(p *sim.Proc) {
+		d.Endpoint(0).Put(p, d.Endpoint(1), dst, []byte("data"), nil, tgt, nil)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "data" {
+		t.Fatalf("payload = %q, want %q", dst, "data")
+	}
+	if m.Stats.DupsSuppressed == 0 {
+		t.Fatalf("forced duplicate not suppressed after double EnableReliable: %+v", m.Stats)
+	}
+}
+
 func TestUnreliableDropLosesPut(t *testing.T) {
 	// Without reliable mode a dropped put is gone: the counter never
 	// fires and the run deadlocks with a structured report.

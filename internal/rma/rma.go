@@ -17,6 +17,7 @@ import (
 
 	"srmcoll/internal/machine"
 	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
 )
 
 // Counter is a LAPI-style completion counter. Waitcntr blocks until the
@@ -26,12 +27,18 @@ type Counter struct {
 	env  *sim.Env
 	val  int
 	cond *sim.Cond
+	wcl  trace.Class // span class recorded while a process blocks here
 }
 
 // NewCounter creates a counter with the given initial value.
 func NewCounter(env *sim.Env, initial int) *Counter {
-	return &Counter{env: env, val: initial, cond: env.NewCond()}
+	return &Counter{env: env, val: initial, cond: env.NewCond(), wcl: trace.ClassWaitCntr}
 }
+
+// TraceClass sets the wait class recorded when a process blocks on the
+// counter (arrival wait, ack wait, credit wait, ...) and returns c, so
+// protocol setup can chain it after NewCounter.
+func (c *Counter) TraceClass(cl trace.Class) *Counter { c.wcl = cl; return c }
 
 // Value returns the current count.
 func (c *Counter) Value() int { return c.val }
@@ -47,9 +54,14 @@ func (c *Counter) Incr(n int) {
 // WaitDescriber instead of a closure, so the hot Waitcntr path allocates
 // nothing.
 func (c *Counter) waitGE(p *sim.Proc, v int) {
+	if c.val >= v {
+		return
+	}
+	id := c.env.Trace.Begin(p.Track(), c.wcl, c.wcl.String(), 0)
 	for c.val < v {
 		c.cond.WaitOn(p, c, v)
 	}
+	c.env.Trace.End(id)
 }
 
 // DescribeWait implements sim.WaitDescriber for stall reports.
@@ -157,19 +169,42 @@ func (ep *Endpoint) Probe(p *sim.Proc) { ep.drainPending(p) }
 // rules. fn performs the actual data movement and counter updates. Injected
 // interrupt storms (machine.StormPenalty, zero by default) slow deliveries
 // the same way spin-loop starvation does.
-func (ep *Endpoint) deliver(fn func()) {
+//
+// g/par carry the put lifecycle's trace group and issuing span (-1, -1 for
+// untraced messages): the delivery leg is recorded as a span from arrival
+// to the moment fn runs, named after the mode that delivered it.
+func (ep *Endpoint) deliver(g, par int, fn func()) {
 	m := ep.dom.m
+	tr := m.Env.Trace
 	switch {
 	case ep.inCall:
 		// Even with the dispatcher polling, the service threads need CPU
 		// cycles that non-yielding spin loops elsewhere on the node hold
 		// (§2.4) — hence the starvation penalty here as well.
-		m.Env.After(m.Cfg.RecvOverhead+m.SpinPenalty(ep.Node)+m.StormPenalty(ep.Node), fn)
+		d := m.Cfg.RecvOverhead + m.SpinPenalty(ep.Node) + m.StormPenalty(ep.Node)
+		if tr != nil && g >= 0 {
+			tr.Add(g, par, trace.ClassPutDeliver, "put:deliver:poll", 0, m.Env.Now(), m.Env.Now()+d)
+		}
+		m.Env.After(d, fn)
 	case ep.interrupts:
 		m.Stats.Interrupts++
-		m.Env.After(m.Cfg.InterruptCost+m.SpinPenalty(ep.Node)+m.StormPenalty(ep.Node), fn)
+		d := m.Cfg.InterruptCost + m.SpinPenalty(ep.Node) + m.StormPenalty(ep.Node)
+		if tr != nil && g >= 0 {
+			tr.Add(g, par, trace.ClassPutDeliver, "put:deliver:interrupt", 0, m.Env.Now(), m.Env.Now()+d)
+		}
+		m.Env.After(d, fn)
 	default:
 		m.Stats.Deferrals++
+		if tr != nil && g >= 0 {
+			// The deferral window is open-ended until the target's next RMA
+			// call drains it; record arrival now and close at actual delivery.
+			at := m.Env.Now()
+			inner := fn
+			fn = func() {
+				tr.Add(g, par, trace.ClassPutDeliver, "put:deliver:deferred", 0, at, m.Env.Now())
+				inner()
+			}
+		}
 		ep.pending = append(ep.pending, fn)
 	}
 }
@@ -217,16 +252,27 @@ func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, 
 		snap = m.Buffers.Get(len(src))
 		copy(snap, src)
 	}
+	tr := m.Env.Trace
+	par := -1
+	if tr != nil {
+		par = tr.Current(p.Track())
+	}
 	if ep.dom.reliable || m.Faults != nil {
-		ep.dom.wirePut(ep, target, dst, snap, origin, tgt, compl)
+		ep.dom.wirePut(ep, target, par, dst, snap, origin, tgt, compl)
 		return
 	}
 	injectEnd, arrival := m.NetInject(ep.Node, len(src))
+	g := -1
+	if tr != nil {
+		g = tr.NewGroup()
+		tr.Add(g, par, trace.ClassPutInject, "put:inject", int64(len(src)), m.Env.Now(), injectEnd)
+		tr.Add(g, par, trace.ClassPutWire, "put:wire", int64(len(src)), injectEnd, arrival)
+	}
 	if origin != nil {
 		m.Env.At(injectEnd, func() { origin.Incr(1) })
 	}
 	m.Env.At(arrival, func() {
-		target.deliver(func() {
+		target.deliver(g, par, func() {
 			copy(dst, snap)
 			m.Buffers.Put(snap) // contents fully consumed by the copy above
 			if tgt != nil {
@@ -234,6 +280,9 @@ func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, 
 			}
 			if compl != nil {
 				// Completion is acknowledged back to the origin over the wire.
+				if tr != nil {
+					tr.Add(g, par, trace.ClassPutAck, "put:ack", 0, m.Env.Now(), m.Env.Now()+m.Cfg.NetLatency)
+				}
 				m.Env.After(m.Cfg.NetLatency, func() { compl.Incr(1) })
 			}
 		})
@@ -262,7 +311,7 @@ func (ep *Endpoint) AM(p *sim.Proc, target *Endpoint, payload []byte, handler fu
 	}
 	_, arrival := m.NetInject(ep.Node, len(payload))
 	m.Env.At(arrival, func() {
-		target.deliver(func() {
+		target.deliver(-1, -1, func() {
 			m.Env.After(m.Cfg.AMHandlerCost, func() { handler(payload) })
 		})
 	})
@@ -290,7 +339,7 @@ func (ep *Endpoint) Get(p *sim.Proc, target *Endpoint, dst, src []byte, compl *C
 
 	_, reqArrival := m.NetInject(ep.Node, 0)
 	m.Env.At(reqArrival, func() {
-		target.deliver(func() {
+		target.deliver(-1, -1, func() {
 			_, replyArrival := m.NetInject(target.Node, len(src))
 			m.Env.At(replyArrival, func() {
 				copy(dst, src)
@@ -364,7 +413,7 @@ func (ep *Endpoint) Rmw(p *sim.Proc, w *Word, op RmwOp, operand, cmp int64) int6
 	done := ep.dom.NewCounter(0)
 	_, reqArrival := m.NetInject(ep.Node, headerWord)
 	m.Env.At(reqArrival, func() {
-		w.Owner.deliver(func() {
+		w.Owner.deliver(-1, -1, func() {
 			apply()
 			_, replyArrival := m.NetInject(w.Owner.Node, headerWord)
 			m.Env.At(replyArrival, func() { done.Incr(1) })

@@ -11,6 +11,7 @@ import (
 
 	"srmcoll/internal/machine"
 	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
 )
 
 // Flag is a synchronization word in shared memory, assumed to occupy its
@@ -47,11 +48,13 @@ func (f *Flag) WaitUntil(p *sim.Proc, pred func(int) bool) {
 	if pred(f.val) {
 		return
 	}
+	id := f.m.Env.Trace.Begin(p.Track(), trace.ClassWaitFlag, "wait:flag", 0)
 	f.m.SpinEnter(f.node)
 	for !pred(f.val) {
 		f.cond.WaitOn(p, f, -1)
 	}
 	f.m.SpinExit(f.node)
+	f.m.Env.Trace.End(id)
 }
 
 // WaitGE spins until the flag value is >= v. This covers the monotone
@@ -60,11 +63,13 @@ func (f *Flag) WaitGE(p *sim.Proc, v int) {
 	if f.val >= v {
 		return
 	}
+	id := f.m.Env.Trace.Begin(p.Track(), trace.ClassWaitFlag, "wait:flag", 0)
 	f.m.SpinEnter(f.node)
 	for f.val < v {
 		f.cond.WaitOn(p, f, v)
 	}
 	f.m.SpinExit(f.node)
+	f.m.Env.Trace.End(id)
 }
 
 // WaitFor spins until the flag equals v.
@@ -72,11 +77,13 @@ func (f *Flag) WaitFor(p *sim.Proc, v int) {
 	if f.val == v {
 		return
 	}
+	id := f.m.Env.Trace.Begin(p.Track(), trace.ClassWaitFlag, "wait:flag", 0)
 	f.m.SpinEnter(f.node)
 	for f.val != v {
 		f.cond.WaitOn(p, f, v)
 	}
 	f.m.SpinExit(f.node)
+	f.m.Env.Trace.End(id)
 }
 
 // DescribeWait implements sim.WaitDescriber for stall reports.

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"srmcoll/internal/trace"
 )
 
 // Time is a point in (or duration of) virtual time, in microseconds.
@@ -22,6 +24,12 @@ type Time = float64
 // Env is a simulation environment: a virtual clock plus an event queue.
 // The zero value is not usable; call NewEnv.
 type Env struct {
+	// Trace, when non-nil, records timed spans of simulation activity
+	// (see internal/trace). Hooks throughout the machine/rma/core layers
+	// call its nil-safe methods, so leaving it nil disables tracing with
+	// no allocation or branch cost beyond the nil checks.
+	Trace *trace.Trace
+
 	now       Time
 	queue     eventHeap
 	seq       uint64
@@ -142,6 +150,7 @@ type Proc struct {
 	num    int    // index appended to prefix; -1 when prefix is the name
 	name   string // cached formatted name (built on first Name call)
 	resume chan struct{}
+	track  int // trace track id, or -1 when the process is untracked
 	done   bool
 	killed string  // non-empty: injected crash reason, raised at next resume
 	slow   float64 // Sleep stretch factor (stall windows); 0 or 1 = none
@@ -158,6 +167,14 @@ type Proc struct {
 
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
+
+// SetTrack assigns the process a trace track; spans recorded on behalf of
+// this process land on that timeline. Processes default to track -1
+// (untracked: their spans are dropped).
+func (p *Proc) SetTrack(track int) { p.track = track }
+
+// Track returns the process's trace track (-1 when untracked).
+func (p *Proc) Track() int { return p.track }
 
 // Name returns the name given at Spawn time. For SpawnIndexed processes the
 // string is formatted on first use and cached: the hot spawn path never
@@ -194,7 +211,7 @@ func (e *Env) SpawnIndexed(prefix string, num int, fn func(*Proc)) *Proc {
 }
 
 func (e *Env) spawn(prefix string, num int, fn func(*Proc)) *Proc {
-	p := &Proc{env: e, prefix: prefix, num: num, resume: make(chan struct{}, 1)}
+	p := &Proc{env: e, prefix: prefix, num: num, track: -1, resume: make(chan struct{}, 1)}
 	e.live++
 	go func() {
 		<-p.resume // wait for first scheduling

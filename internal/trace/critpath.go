@@ -1,0 +1,204 @@
+package trace
+
+// Critical-path extraction: for each collective operation (ClassOp roots),
+// find the track that finished last and attribute its elapsed time to
+// segment classes. Attribution uses "own time": a span's duration minus
+// its same-track direct children, so nested spans are counted exactly
+// once. Two synthetic classes absorb the residue — ClassCPU for time the
+// critical rank spent inside the op but in no instrumented segment
+// (charged overheads, memcpy setup), and ClassSkew for the gap between
+// the operation's earliest begin and the critical rank's begin (the rank
+// arrived late; nothing it did inside the op explains that part).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpCrit is the critical-path report for one collective operation
+// occurrence (the k-th ClassOp root on each track).
+type OpCrit struct {
+	Name      string  // op span name ("bcast", "reduce", ...)
+	Index     int     // occurrence number across the run (0-based)
+	Begin     float64 // earliest root begin over all tracks
+	End       float64 // latest root end over all tracks
+	Elapsed   float64 // End - Begin
+	Bytes     int64   // payload bytes from the critical root span
+	CritTrack int     // track whose root ended last (ties: lowest track)
+
+	// Segments attributes the critical track's elapsed time by class
+	// (own time of the critical root and its descendants, plus skew).
+	// Values sum to Elapsed up to float rounding.
+	Segments map[Class]float64
+
+	// Totals sums span durations by class over all tracks' roots and
+	// their descendants, including async network segments. Overlapping
+	// work counts once per span, so totals can exceed Elapsed.
+	Totals map[Class]float64
+
+	// Dominant is the class with the largest Segments share.
+	Dominant Class
+}
+
+// CriticalPath groups the trace's ClassOp root spans into operation
+// occurrences (k-th op on each track = one collective across ranks, the
+// SPMD convention of this repository) and reports each occurrence's
+// critical path. Returns nil when the trace has no op spans.
+func (t *Trace) CriticalPath() []OpCrit {
+	if t == nil {
+		return nil
+	}
+	t.closeOpen()
+
+	// Children index (by parent id) and per-track op-occurrence grouping.
+	children := make(map[int][]int)
+	occs := make(map[int][]int) // occurrence k -> root span ids across tracks
+	perTrack := make(map[int]int)
+	maxOcc := 0
+	for _, s := range t.spans {
+		if s.Parent >= 0 {
+			children[s.Parent] = append(children[s.Parent], s.ID)
+		}
+		if s.Class == ClassOp && s.Track >= 0 && s.Parent < 0 {
+			k := perTrack[s.Track]
+			perTrack[s.Track] = k + 1
+			occs[k] = append(occs[k], s.ID)
+			if k+1 > maxOcc {
+				maxOcc = k + 1
+			}
+		}
+	}
+	if maxOcc == 0 {
+		return nil
+	}
+
+	out := make([]OpCrit, 0, maxOcc)
+	for k := 0; k < maxOcc; k++ {
+		roots := occs[k]
+		if len(roots) == 0 {
+			continue
+		}
+		oc := OpCrit{
+			Name: t.spans[roots[0]].Name, Index: k,
+			Begin: t.spans[roots[0]].Begin, End: t.spans[roots[0]].End,
+			CritTrack: t.spans[roots[0]].Track,
+			Segments:  make(map[Class]float64),
+			Totals:    make(map[Class]float64),
+		}
+		crit := roots[0]
+		for _, id := range roots[1:] {
+			s := t.spans[id]
+			if s.Begin < oc.Begin {
+				oc.Begin = s.Begin
+			}
+			c := t.spans[crit]
+			if s.End > c.End || (s.End == c.End && s.Track < c.Track) {
+				crit, oc.End, oc.CritTrack = id, s.End, s.Track
+			}
+			if s.End > oc.End {
+				oc.End = s.End
+			}
+		}
+		oc.Elapsed = oc.End - oc.Begin
+		oc.Bytes = t.spans[crit].Bytes
+
+		for _, id := range roots {
+			t.addTotals(id, children, oc.Totals)
+		}
+		t.addOwnTime(crit, children, oc.Segments)
+		if skew := t.spans[crit].Begin - oc.Begin; skew > 0 {
+			oc.Segments[ClassSkew] += skew
+		}
+		best, bestV := ClassCPU, -1.0
+		for cl := Class(0); cl < numClasses; cl++ {
+			if v := oc.Segments[cl]; v > bestV {
+				best, bestV = cl, v
+			}
+		}
+		oc.Dominant = best
+		out = append(out, oc)
+	}
+	return out
+}
+
+// addTotals accumulates span durations by class over id and all its
+// descendants (including async network children).
+func (t *Trace) addTotals(id int, children map[int][]int, acc map[Class]float64) {
+	s := t.spans[id]
+	acc[s.Class] += s.Dur()
+	for _, c := range children[id] {
+		t.addTotals(c, children, acc)
+	}
+}
+
+// addOwnTime accumulates, for id and its same-track descendants, each
+// span's duration minus its same-track direct children. The root's own
+// time is booked as ClassCPU (uninstrumented charged time on the critical
+// rank); instrumented spans book their own class.
+func (t *Trace) addOwnTime(id int, children map[int][]int, acc map[Class]float64) {
+	s := t.spans[id]
+	own := s.Dur()
+	for _, cid := range children[id] {
+		c := t.spans[cid]
+		if c.Track != s.Track {
+			continue
+		}
+		own -= c.Dur()
+		t.addOwnTime(cid, children, acc)
+	}
+	if own < 0 {
+		own = 0
+	}
+	cl := s.Class
+	if cl == ClassOp {
+		cl = ClassCPU
+	}
+	acc[cl] += own
+}
+
+// CritPathText renders the per-operation critical-path reports as a
+// deterministic table: one block per operation with segment shares sorted
+// by decreasing time (ties: class order).
+func CritPathText(label string, ops []OpCrit) string {
+	var b strings.Builder
+	if label != "" {
+		fmt.Fprintf(&b, "== %s ==\n", label)
+	}
+	if len(ops) == 0 {
+		b.WriteString("(no operations)\n")
+		return b.String()
+	}
+	for _, oc := range ops {
+		fmt.Fprintf(&b, "op %d %s", oc.Index, oc.Name)
+		if oc.Bytes > 0 {
+			fmt.Fprintf(&b, " %dB", oc.Bytes)
+		}
+		fmt.Fprintf(&b, ": elapsed %.3fus, critical rank %d, dominant %s\n",
+			oc.Elapsed, oc.CritTrack, oc.Dominant)
+		type seg struct {
+			cl Class
+			v  float64
+		}
+		segs := make([]seg, 0, len(oc.Segments))
+		for cl, v := range oc.Segments {
+			if v > 0 {
+				segs = append(segs, seg{cl, v})
+			}
+		}
+		sort.Slice(segs, func(i, j int) bool {
+			if segs[i].v != segs[j].v {
+				return segs[i].v > segs[j].v
+			}
+			return segs[i].cl < segs[j].cl
+		})
+		for _, sg := range segs {
+			pct := 0.0
+			if oc.Elapsed > 0 {
+				pct = 100 * sg.v / oc.Elapsed
+			}
+			fmt.Fprintf(&b, "   %-12s %10.3fus  %5.1f%%\n", sg.cl, sg.v, pct)
+		}
+	}
+	return b.String()
+}

@@ -103,31 +103,37 @@ func (s *Stats) AddSend(n int, eager, shm bool) {
 // longer run.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		ShmCopies:     s.ShmCopies - o.ShmCopies,
-		ShmBytes:      s.ShmBytes - o.ShmBytes,
-		ReduceOps:     s.ReduceOps - o.ReduceOps,
-		ReduceElement: s.ReduceElement - o.ReduceElement,
-		Puts:          s.Puts - o.Puts,
-		PutBytes:      s.PutBytes - o.PutBytes,
-		Gets:          s.Gets - o.Gets,
-		GetBytes:      s.GetBytes - o.GetBytes,
-		ActiveMsgs:    s.ActiveMsgs - o.ActiveMsgs,
-		Interrupts:    s.Interrupts - o.Interrupts,
-		Deferrals:     s.Deferrals - o.Deferrals,
-		Starves:       s.Starves - o.Starves,
+		ShmCopies:      s.ShmCopies - o.ShmCopies,
+		ShmBytes:       s.ShmBytes - o.ShmBytes,
+		ReduceOps:      s.ReduceOps - o.ReduceOps,
+		ReduceElement:  s.ReduceElement - o.ReduceElement,
+		Puts:           s.Puts - o.Puts,
+		PutBytes:       s.PutBytes - o.PutBytes,
+		Gets:           s.Gets - o.Gets,
+		GetBytes:       s.GetBytes - o.GetBytes,
+		ActiveMsgs:     s.ActiveMsgs - o.ActiveMsgs,
+		Interrupts:     s.Interrupts - o.Interrupts,
+		Deferrals:      s.Deferrals - o.Deferrals,
+		Starves:        s.Starves - o.Starves,
 		Drops:          s.Drops - o.Drops,
 		Retries:        s.Retries - o.Retries,
 		DupsSuppressed: s.DupsSuppressed - o.DupsSuppressed,
 		AckTimeouts:    s.AckTimeouts - o.AckTimeouts,
-		MPISends:      s.MPISends - o.MPISends,
-		MPIBytes:      s.MPIBytes - o.MPIBytes,
-		EagerSends:    s.EagerSends - o.EagerSends,
-		RndvSends:     s.RndvSends - o.RndvSends,
-		Unexpected:    s.Unexpected - o.Unexpected,
-		MPIShmSends:   s.MPIShmSends - o.MPIShmSends,
-		TotalCopies:   s.TotalCopies - o.TotalCopies,
-		TotalBytes:    s.TotalBytes - o.TotalBytes,
+		MPISends:       s.MPISends - o.MPISends,
+		MPIBytes:       s.MPIBytes - o.MPIBytes,
+		EagerSends:     s.EagerSends - o.EagerSends,
+		RndvSends:      s.RndvSends - o.RndvSends,
+		Unexpected:     s.Unexpected - o.Unexpected,
+		MPIShmSends:    s.MPIShmSends - o.MPIShmSends,
+		TotalCopies:    s.TotalCopies - o.TotalCopies,
+		TotalBytes:     s.TotalBytes - o.TotalBytes,
 	}
+}
+
+// Reset zeroes every counter in place; with Sub it supports measuring
+// per-operation deltas in longer runs.
+func (s *Stats) Reset() {
+	*s = Stats{}
 }
 
 // String renders the non-zero counters in a stable order.

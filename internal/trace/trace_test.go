@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -86,6 +87,45 @@ func TestPropSubConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// fillDistinct sets every field of a Stats to a distinct non-zero value.
+func fillDistinct() Stats {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	return s
+}
+
+// TestSubCoversAllFields guards the hand-rolled Sub against new Stats
+// fields being forgotten: subtracting a snapshot from itself must zero
+// every field, and subtracting zero must be the identity.
+func TestSubCoversAllFields(t *testing.T) {
+	s := fillDistinct()
+	if d := s.Sub(s); d != (Stats{}) {
+		t.Fatalf("s.Sub(s) = %+v, want zero — Sub is missing a field", d)
+	}
+	if d := s.Sub(Stats{}); d != s {
+		t.Fatalf("s.Sub(zero) = %+v, want %+v — Sub is missing a field", d, s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := fillDistinct()
+	s.Reset()
+	if s != (Stats{}) {
+		t.Fatalf("after Reset: %+v, want zero", s)
+	}
+	// Reset composes with Sub for per-operation deltas: after a reset the
+	// running counters are the delta.
+	s.AddPut(9)
+	snap := s
+	s.Reset()
+	if snap.Puts != 1 || s.Puts != 0 {
+		t.Fatalf("reset broke counting: snap=%+v s=%+v", snap, s)
 	}
 }
 

@@ -183,12 +183,30 @@ func (e *StallError) Error() string {
 	return s
 }
 
+// Trace is the deterministic span timeline of one traced run: virtual-time
+// spans per rank (collective roots, SMP phases, waits, copies) plus async
+// put-lifecycle segments. Use ChromeJSON for a Perfetto-loadable export,
+// CriticalPath for per-operation attribution, and TimelineText for a plain
+// rendering. See DESIGN.md §10 for the span taxonomy.
+type Trace = trace.Trace
+
+// Span is one timed segment of a Trace.
+type Span = trace.Span
+
+// SpanClass is the segment taxonomy of spans (shm copy, wire latency,
+// interrupt/deferral, ack wait, pipeline stall, ...).
+type SpanClass = trace.Class
+
+// OpCrit is the per-collective critical-path report of Trace.CriticalPath.
+type OpCrit = trace.OpCrit
+
 // Cluster is a reusable description of a simulated machine. Each Run builds
 // a fresh deterministic simulation of it.
 type Cluster struct {
 	cfg     Config
 	variant Variant
 	faults  FaultPlan
+	tracing bool
 }
 
 // NewCluster validates the configuration and returns a cluster handle.
@@ -210,6 +228,16 @@ func (cl *Cluster) SetFaultPlan(p FaultPlan) { cl.faults = p }
 // FaultPlan returns the cluster's current fault plan.
 func (cl *Cluster) FaultPlan() FaultPlan { return cl.faults }
 
+// SetTracing enables span tracing for subsequent runs: Result.Trace holds
+// the recorded timeline. Spans are stamped with virtual time, so tracing
+// never perturbs simulated timing; it does cost host memory proportional
+// to the number of recorded events. Off by default (Result.Trace nil, and
+// the recording paths reduce to nil checks).
+func (cl *Cluster) SetTracing(on bool) { cl.tracing = on }
+
+// Tracing reports whether span tracing is enabled.
+func (cl *Cluster) Tracing() bool { return cl.tracing }
+
 // Config returns the cluster configuration.
 func (cl *Cluster) Config() Config { return cl.cfg }
 
@@ -220,6 +248,7 @@ type Result struct {
 	Stats   trace.Stats  // data-movement and protocol counters
 	Faults  FaultSummary // faults actually injected (zero without a plan)
 	Events  uint64       // simulator queue items executed during the run
+	Trace   *Trace       // span timeline (nil unless Cluster.SetTracing(true))
 }
 
 // Comm is a rank's handle inside a Run body: its identity plus the
@@ -233,6 +262,7 @@ type Comm struct {
 	dom      *rma.Domain
 	counters map[string]*SharedCounter
 	coll     collectives
+	tr       *trace.Trace // nil unless tracing is on
 }
 
 // collectives is the operation set shared by SRM and the baselines.
@@ -413,6 +443,7 @@ func (c *Comm) Sub(members []int) *Comm {
 		dom:      c.dom,
 		counters: c.counters,
 		coll:     c.coll.Subgroup(members),
+		tr:       c.tr,
 	}
 }
 
@@ -437,61 +468,87 @@ func (c *Comm) Now() float64 { return c.p.Now() }
 func (c *Comm) Compute(us float64) { c.p.Sleep(us) }
 
 // Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.coll.Barrier(c.p, c.rank) }
+func (c *Comm) Barrier() {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "barrier", 0)
+	c.coll.Barrier(c.p, c.rank)
+	c.tr.End(id)
+}
 
 // Bcast broadcasts buf from root; on other ranks buf is overwritten.
-func (c *Comm) Bcast(buf []byte, root int) { c.coll.Bcast(c.p, c.rank, buf, root) }
+func (c *Comm) Bcast(buf []byte, root int) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "bcast", int64(len(buf)))
+	c.coll.Bcast(c.p, c.rank, buf, root)
+	c.tr.End(id)
+}
 
 // Reduce combines send across ranks into recv at root (recv may be nil
 // elsewhere).
 func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "reduce", int64(len(send)))
 	c.coll.Reduce(c.p, c.rank, send, recv, dt, op, root)
+	c.tr.End(id)
 }
 
 // Allreduce combines send across ranks into every rank's recv.
 func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "allreduce", int64(len(send)))
 	c.coll.Allreduce(c.p, c.rank, send, recv, dt, op)
+	c.tr.End(id)
 }
 
 // Gather collects every rank's send block into recv at root (recv must
 // hold Size()*len(send) bytes there; it is ignored elsewhere).
 func (c *Comm) Gather(send, recv []byte, root int) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "gather", int64(len(send)))
 	c.coll.Gather(c.p, c.rank, send, recv, root)
+	c.tr.End(id)
 }
 
 // Scatter distributes root's send (Size()*len(recv) bytes) so each rank
 // receives its block in recv.
 func (c *Comm) Scatter(send, recv []byte, root int) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "scatter", int64(len(recv)))
 	c.coll.Scatter(c.p, c.rank, send, recv, root)
+	c.tr.End(id)
 }
 
 // Allgather concatenates every rank's send block into every rank's recv
 // (Size()*len(send) bytes), ordered by rank.
 func (c *Comm) Allgather(send, recv []byte) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "allgather", int64(len(send)))
 	c.coll.Allgather(c.p, c.rank, send, recv)
+	c.tr.End(id)
 }
 
 // Alltoall exchanges per-rank blocks: send and recv hold Size() blocks of
 // equal size; rank j receives this rank's block j at offset Rank().
 func (c *Comm) Alltoall(send, recv []byte) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "alltoall", int64(len(send)))
 	c.coll.Alltoall(c.p, c.rank, send, recv)
+	c.tr.End(id)
 }
 
 // ReduceScatter combines every rank's send vector (Size()*len(recv)
 // bytes) elementwise and delivers reduced block i to rank i in recv.
 func (c *Comm) ReduceScatter(send, recv []byte, dt Datatype, op Op) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "reducescatter", int64(len(send)))
 	c.coll.ReduceScatter(c.p, c.rank, send, recv, dt, op)
+	c.tr.End(id)
 }
 
 // Scan leaves in recv the reduction of the send buffers of all ranks with
 // rank <= this one (inclusive prefix reduction).
 func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "scan", int64(len(send)))
 	c.coll.Scan(c.p, c.rank, send, recv, dt, op)
+	c.tr.End(id)
 }
 
 // Exscan is the exclusive prefix reduction; rank 0's recv is zeroed.
 func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) {
+	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "exscan", int64(len(send)))
 	c.coll.Exscan(c.p, c.rank, send, recv, dt, op)
+	c.tr.End(id)
 }
 
 // AllgatherFloat64 is a convenience wrapper concatenating float64 vectors.
@@ -606,8 +663,11 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("srmcoll: unknown implementation %d", int(impl))
 	}
+	if cl.tracing {
+		env.Trace = trace.New(env.Now)
+	}
 	counters := make(map[string]*SharedCounter)
-	res := &Result{PerRank: make([]float64, m.P())}
+	res := &Result{PerRank: make([]float64, m.P()), Trace: env.Trace}
 	procs := make([]*sim.Proc, m.P())
 	// Schedule fault callbacks before spawning the ranks so a window opening
 	// at t=0 is already in force when the first rank runs. The closures index
@@ -619,9 +679,13 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 		r := r
 		procs[r] = env.SpawnIndexed("rank", r, func(p *sim.Proc) {
 			body(&Comm{p: p, rank: r, size: m.P(), m: m, dom: dom,
-				counters: counters, coll: coll})
+				counters: counters, coll: coll, tr: env.Trace})
 			res.PerRank[r] = p.Now()
 		})
+		if env.Trace != nil {
+			procs[r].SetTrack(r)
+			env.Trace.NameTrack(r, procs[r].Name())
+		}
 	}
 
 	var runErr error

@@ -1,0 +1,182 @@
+package srmcoll
+
+import (
+	"bytes"
+	"testing"
+
+	"srmcoll/internal/trace"
+)
+
+func tracedRun(t *testing.T, nodes, tasks int, body func(*Comm)) *Result {
+	t.Helper()
+	cl, err := NewCluster(ColonySP(nodes, tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetTracing(true)
+	res, err := cl.Run(SRM, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("SetTracing(true) run returned nil Result.Trace")
+	}
+	return res
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	cl, err := NewCluster(ColonySP(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Tracing() {
+		t.Fatal("tracing on by default")
+	}
+	res, err := cl.Run(SRM, func(c *Comm) { c.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("untraced run returned a trace")
+	}
+}
+
+// TestTracingDoesNotPerturbRun pins the zero-interference guarantee: the
+// virtual times and counters of a run must be identical with tracing on
+// and off, because hooks only observe the schedule.
+func TestTracingDoesNotPerturbRun(t *testing.T) {
+	body := func(c *Comm) {
+		buf := make([]byte, 4096)
+		c.Bcast(buf, 0)
+		c.Allreduce(make([]byte, 256), make([]byte, 256), Float64, Sum)
+		c.Barrier()
+	}
+	run := func(tracing bool) *Result {
+		cl, err := NewCluster(ColonySP(2, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.SetTracing(tracing)
+		res, err := cl.Run(SRM, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	if off.Time != on.Time {
+		t.Errorf("Time differs: off %.17g, on %.17g", off.Time, on.Time)
+	}
+	for r := range off.PerRank {
+		if off.PerRank[r] != on.PerRank[r] {
+			t.Errorf("PerRank[%d] differs: off %.17g, on %.17g", r, off.PerRank[r], on.PerRank[r])
+		}
+	}
+	if off.Stats != on.Stats {
+		t.Errorf("Stats differ:\noff %v\non  %v", off.Stats, on.Stats)
+	}
+	if off.Events != on.Events {
+		t.Errorf("Events differ: off %d, on %d", off.Events, on.Events)
+	}
+}
+
+// TestTraceRootSpansReconcile checks the op root spans against the run's
+// reported times: each rank records one root per collective call, roots
+// nest nothing above them, and the last root on a rank ends exactly at
+// that rank's completion time.
+func TestTraceRootSpansReconcile(t *testing.T) {
+	res := tracedRun(t, 2, 4, func(c *Comm) {
+		c.Bcast(make([]byte, 1024), 0)
+		c.Barrier()
+	})
+	wantNames := []string{"bcast", "barrier"}
+	roots := make(map[int][]Span)
+	for _, s := range res.Trace.Spans() {
+		if s.Class == trace.ClassOp {
+			if s.Parent != -1 {
+				t.Fatalf("op root %q has parent %d", s.Name, s.Parent)
+			}
+			roots[s.Track] = append(roots[s.Track], s)
+		}
+	}
+	if len(roots) != len(res.PerRank) {
+		t.Fatalf("op roots on %d tracks, want %d", len(roots), len(res.PerRank))
+	}
+	for r, elapsed := range res.PerRank {
+		rs := roots[r]
+		if len(rs) != len(wantNames) {
+			t.Fatalf("rank %d recorded %d op roots, want %d", r, len(rs), len(wantNames))
+		}
+		for i, s := range rs {
+			if s.Name != wantNames[i] {
+				t.Errorf("rank %d op %d = %q, want %q", r, i, s.Name, wantNames[i])
+			}
+			if s.End < s.Begin {
+				t.Errorf("rank %d op %d never closed: %+v", r, i, s)
+			}
+		}
+		if last := rs[len(rs)-1]; last.End != elapsed {
+			t.Errorf("rank %d last op ends at %.17g, PerRank says %.17g", r, last.End, elapsed)
+		}
+	}
+	ops := res.Trace.CriticalPath()
+	if len(ops) != len(wantNames) {
+		t.Fatalf("CriticalPath reports %d ops, want %d", len(ops), len(wantNames))
+	}
+	if ops[len(ops)-1].End != res.Time {
+		t.Errorf("last op ends at %.17g, Result.Time %.17g", ops[len(ops)-1].End, res.Time)
+	}
+}
+
+// TestTraceGoldenBroadcastTimeline pins the full span timeline of a small
+// broadcast: 2 nodes x 2 tasks, 64 bytes. Any change to hook placement,
+// span taxonomy or the protocol schedule shows up here. Regenerate the
+// golden by printing res.Trace.TimelineText() if an intentional change
+// shifts it.
+func TestTraceGoldenBroadcastTimeline(t *testing.T) {
+	res := tracedRun(t, 2, 2, func(c *Comm) {
+		c.Bcast(make([]byte, 64), 0)
+	})
+	const golden = "" +
+		"     0.000      5.856  rank0          bcast 64B\n" +
+		"     0.000      5.256  rank1          bcast 64B\n" +
+		"     0.000      5.256  rank1            smp:consume 64B\n" +
+		"     0.000      4.728  rank1              wait:flag\n" +
+		"     0.000     16.614  rank2          bcast 64B\n" +
+		"     0.000     16.086  rank2            wait:arrive\n" +
+		"     0.000     17.214  rank3          bcast 64B\n" +
+		"     0.000     17.214  rank3            smp:consume 64B\n" +
+		"     0.000     16.686  rank3              wait:flag\n" +
+		"     3.600      4.386  net/g0           put:inject 64B\n" +
+		"     3.600      4.128  rank0            smp:publish 64B\n" +
+		"     3.600      4.128  rank0              shm:copy 64B\n" +
+		"     4.128      5.856  rank0            wait:flag\n" +
+		"     4.386     12.886  net/g0           put:wire 64B\n" +
+		"     4.728      5.256  rank1              shm:copy 64B\n" +
+		"    12.886     16.086  net/g0           put:deliver:poll\n" +
+		"    16.086     16.614  rank2            chunk:slot 64B\n" +
+		"    16.086     16.086  rank2              smp:publish 64B\n" +
+		"    16.086     16.614  rank2              shm:copy 64B\n" +
+		"    16.686     17.214  rank3              shm:copy 64B\n"
+	if got := res.Trace.TimelineText(); got != golden {
+		t.Fatalf("broadcast timeline changed:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestTraceChromeJSONDeterministic runs the same traced workload twice and
+// requires byte-identical exports.
+func TestTraceChromeJSONDeterministic(t *testing.T) {
+	export := func() []byte {
+		res := tracedRun(t, 2, 4, func(c *Comm) {
+			c.Allreduce(make([]byte, 2048), make([]byte, 2048), Float64, Sum)
+		})
+		js, err := res.Trace.ChromeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	if a, b := export(), export(); !bytes.Equal(a, b) {
+		t.Fatal("ChromeJSON differs between identical runs")
+	}
+}
