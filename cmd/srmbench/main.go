@@ -13,6 +13,7 @@
 //	srmbench -j 8            # sweep worker count (output identical to -j 1)
 //	srmbench -benchjson F    # write the perf-regression report to F
 //	srmbench -trace F        # trace a basket of collectives to Chrome JSON
+//	srmbench -overlapjson F  # write the non-blocking overlap sweep to F
 package main
 
 import (
@@ -41,6 +42,8 @@ func main() {
 		"run the fixed perf-regression basket and write the JSON report to this file")
 	traceOut := flag.String("trace", "",
 		"trace a small basket of collectives and write Chrome trace-event JSON to this file")
+	overlapjson := flag.String("overlapjson", "",
+		"run the non-blocking overlap sweep and write the JSON report to this file")
 	flag.Parse()
 
 	// Validate every flag before doing any work, so a typo fails fast with a
@@ -50,7 +53,7 @@ func main() {
 		"9": true, "10": true, "11": true, "12": true, "all": true}
 	validAbls := map[string]bool{"": true, "trees": true, "smpbcast": true, "yield": true,
 		"chunks": true, "eager": true, "interrupts": true, "late": true, "15of16": true,
-		"daemons": true, "model": true, "all": true}
+		"daemons": true, "model": true, "overlap": true, "all": true}
 	bad := false
 	if !validFigs[*fig] {
 		fmt.Fprintf(os.Stderr, "srmbench: unknown figure %q\n", *fig)
@@ -65,8 +68,8 @@ func main() {
 		bad = true
 	}
 	if !bad && *fig == "" && !*headline && *ablation == "" && !*extension &&
-		*benchjson == "" && *traceOut == "" {
-		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson or -trace")
+		*benchjson == "" && *traceOut == "" && *overlapjson == "" {
+		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson or -trace")
 		bad = true
 	}
 	if bad {
@@ -92,6 +95,21 @@ func main() {
 	g := exp.DefaultGrid()
 	if *quick {
 		g = exp.QuickGrid()
+	}
+
+	if *overlapjson != "" {
+		rep := exp.RunOverlap(g)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*overlapjson, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *overlapjson)
 	}
 
 	if *traceOut != "" {
@@ -164,7 +182,7 @@ func main() {
 
 	abls := []string{*ablation}
 	if *ablation == "all" {
-		abls = []string{"trees", "smpbcast", "yield", "chunks", "eager", "interrupts", "late", "15of16", "daemons", "model"}
+		abls = []string{"trees", "smpbcast", "yield", "chunks", "eager", "interrupts", "late", "15of16", "daemons", "model", "overlap"}
 	}
 	for _, a := range abls {
 		switch a {
@@ -191,6 +209,8 @@ func main() {
 			emit(exp.AblationDaemons(g))
 		case "model":
 			fmt.Print(exp.ModelText(exp.AblationModel(g)))
+		case "overlap":
+			emit(exp.AblationOverlap(g))
 		default:
 			fmt.Fprintf(os.Stderr, "srmbench: unknown ablation %q\n", a)
 			os.Exit(2)

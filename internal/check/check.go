@@ -3,9 +3,17 @@
 // boundary (srmcoll.Cluster.Run) recovers them into a structured
 // *srmcoll.RunError instead of killing the host program, and every layer
 // produces the same message shape: operation, rank, buffer, got/want bytes.
+//
+// It also carries the misuse diagnostics of the non-blocking request API:
+// *RequestError for lifecycle violations (double Wait, dropped requests)
+// and Buf/Overlaps for detecting user buffers shared between outstanding
+// requests.
 package check
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // SizeError describes a collective called with a wrong-sized buffer.
 type SizeError struct {
@@ -25,4 +33,44 @@ func Size(op string, rank int, buf string, got, want int) {
 	if got != want {
 		panic(&SizeError{Op: op, Rank: rank, Buf: buf, Got: got, Want: want})
 	}
+}
+
+// RequestError describes a misuse of the non-blocking request API: waiting
+// twice on one request, dropping a request without completing it, or
+// issuing a request whose buffers overlap an outstanding one. Like
+// *SizeError it is raised as a panic and recovered into a structured
+// *srmcoll.RunError at the Run boundary, so misuse is diagnosable instead
+// of a hang or silent corruption.
+type RequestError struct {
+	Op     string // operation context, e.g. "srmcoll.IBcast" or "srmcoll.Run"
+	Rank   int    // global rank that misused the API
+	Req    string // request identity, e.g. "ibcast#2"
+	Reason string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("%s: rank %d: request %s: %s", e.Op, e.Rank, e.Req, e.Reason)
+}
+
+// Buf is the half-open address range of a user buffer, captured when a
+// non-blocking request is issued so later requests can be checked against
+// the buffers still owned by outstanding ones. A zero Buf (empty slice)
+// overlaps nothing.
+type Buf struct {
+	lo, hi uintptr
+	Label  string // which buffer: "send", "recv", "buf"
+}
+
+// BufOf captures b's address range under the given label.
+func BufOf(label string, b []byte) Buf {
+	if len(b) == 0 {
+		return Buf{Label: label}
+	}
+	lo := uintptr(unsafe.Pointer(&b[0]))
+	return Buf{lo: lo, hi: lo + uintptr(len(b)), Label: label}
+}
+
+// Overlaps reports whether the two ranges share any byte.
+func (a Buf) Overlaps(b Buf) bool {
+	return a.hi > b.lo && b.hi > a.lo
 }

@@ -1,0 +1,38 @@
+package exp
+
+import "testing"
+
+func TestRunOverlapHidesCommunication(t *testing.T) {
+	g := QuickGrid()
+	rep := RunOverlap(g)
+	if len(rep.Entries) != len(g.Sizes) {
+		t.Fatalf("%d entries, want one per size (%d)", len(rep.Entries), len(g.Sizes))
+	}
+	for _, e := range rep.Entries {
+		if e.CommUS <= 0 || e.BlockingUS <= 0 || e.OverlappedUS <= 0 {
+			t.Errorf("%d bytes: non-positive measurement %+v", e.Bytes, e)
+		}
+		if e.OverlappedUS > e.BlockingUS {
+			t.Errorf("%d bytes: overlapped loop slower than blocking: %+v", e.Bytes, e)
+		}
+	}
+	// The headline claim: the pipelined (largest) allreduce hides a
+	// positive share of its communication behind the compute phase.
+	last := rep.Entries[len(rep.Entries)-1]
+	if last.HiddenPct <= 0 {
+		t.Errorf("pipelined allreduce (%d bytes) hides nothing: %+v", last.Bytes, last)
+	}
+}
+
+func TestAblationOverlapWorkerCountInvisible(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	g := QuickGrid()
+	SetWorkers(1)
+	serial := AblationOverlap(g).Text()
+	SetWorkers(8)
+	fanned := AblationOverlap(g).Text()
+	if serial != fanned {
+		t.Fatalf("overlap table differs by worker count:\n-- j=1 --\n%s-- j=8 --\n%s", serial, fanned)
+	}
+}

@@ -36,6 +36,9 @@ const (
 	ClassWaitFlag                // blocked on a shared-memory flag
 	ClassCPU                     // critical-path residue: charged CPU/overhead time
 	ClassSkew                    // critical-path residue: late arrival into the operation
+	ClassReqIssue                // non-blocking request issued (zero-width marker on the calling rank)
+	ClassReqOp                   // non-blocking request executing on its helper track
+	ClassReqWait                 // calling rank blocked in Request.Wait (exposed communication)
 	numClasses
 )
 
@@ -44,6 +47,7 @@ var classNames = [numClasses]string{
 	"put:inject", "put:wire", "put:deliver", "put:ack",
 	"wait:arrive", "wait:ack", "wait:credit", "wait:cntr", "wait:flag",
 	"cpu", "skew",
+	"req:issue", "req:op", "req:wait",
 }
 
 // String returns the stable class label used in reports and exports.
@@ -188,6 +192,18 @@ func (t *Trace) End(id int) {
 		}
 	}
 	t.stacks[sp.Track] = st
+}
+
+// Link tags a scoped span with an async group id, tying it to the other
+// segments of one logical transaction. The request spans of a non-blocking
+// collective (issue marker, helper-track op, Wait) share one group so the
+// overlap report can reassemble each request's lifetime. No-op for dropped
+// spans (id < 0) and unallocated groups (group < 0).
+func (t *Trace) Link(id, group int) {
+	if t == nil || id < 0 || group < 0 {
+		return
+	}
+	t.spans[id].Group = group
 }
 
 // Add records a fully specified span: an async segment whose begin and

@@ -200,6 +200,12 @@ type SpanClass = trace.Class
 // OpCrit is the per-collective critical-path report of Trace.CriticalPath.
 type OpCrit = trace.OpCrit
 
+// ReqOverlap is the per-request overlap report of Trace.OverlapReport: for
+// each non-blocking collective, how much of its communication the issuing
+// rank sat out in Wait (exposed) versus ran behind its own Compute
+// (hidden).
+type ReqOverlap = trace.ReqOverlap
+
 // Cluster is a reusable description of a simulated machine. Each Run builds
 // a fresh deterministic simulation of it.
 type Cluster struct {
@@ -263,6 +269,7 @@ type Comm struct {
 	counters map[string]*SharedCounter
 	coll     collectives
 	tr       *trace.Trace // nil unless tracing is on
+	rs       *runState    // per-Run request streams and sub-comm cache
 }
 
 // collectives is the operation set shared by SRM and the baselines.
@@ -433,9 +440,15 @@ func (a baselineGroupAdapter) Subgroup(members []int) collectives {
 // paper's §5 extension to arbitrary MPI task groups. Member order defines
 // the group; every member must pass the same list and make the same
 // sequence of collective calls on it. Roots remain global ranks. Only
-// member ranks may use the returned Comm.
+// member ranks may use the returned Comm. Repeated Sub calls with the same
+// member list (from the same parent) return the same canonical Comm, so
+// request ordering is per communicator, not per Sub call.
 func (c *Comm) Sub(members []int) *Comm {
-	return &Comm{
+	key := subKey{parent: c, members: fmt.Sprint(members)}
+	if s, ok := c.rs.subs[key]; ok {
+		return s
+	}
+	s := &Comm{
 		p:        c.p,
 		rank:     c.rank,
 		size:     len(members),
@@ -444,7 +457,10 @@ func (c *Comm) Sub(members []int) *Comm {
 		counters: c.counters,
 		coll:     c.coll.Subgroup(members),
 		tr:       c.tr,
+		rs:       c.rs,
 	}
+	c.rs.subs[key] = s
+	return s
 }
 
 // Rank returns this task's global rank.
@@ -469,6 +485,7 @@ func (c *Comm) Compute(us float64) { c.p.Sleep(us) }
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "barrier", 0)
 	c.coll.Barrier(c.p, c.rank)
 	c.tr.End(id)
@@ -476,6 +493,7 @@ func (c *Comm) Barrier() {
 
 // Bcast broadcasts buf from root; on other ranks buf is overwritten.
 func (c *Comm) Bcast(buf []byte, root int) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "bcast", int64(len(buf)))
 	c.coll.Bcast(c.p, c.rank, buf, root)
 	c.tr.End(id)
@@ -484,6 +502,7 @@ func (c *Comm) Bcast(buf []byte, root int) {
 // Reduce combines send across ranks into recv at root (recv may be nil
 // elsewhere).
 func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "reduce", int64(len(send)))
 	c.coll.Reduce(c.p, c.rank, send, recv, dt, op, root)
 	c.tr.End(id)
@@ -491,6 +510,7 @@ func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) {
 
 // Allreduce combines send across ranks into every rank's recv.
 func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "allreduce", int64(len(send)))
 	c.coll.Allreduce(c.p, c.rank, send, recv, dt, op)
 	c.tr.End(id)
@@ -499,6 +519,7 @@ func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) {
 // Gather collects every rank's send block into recv at root (recv must
 // hold Size()*len(send) bytes there; it is ignored elsewhere).
 func (c *Comm) Gather(send, recv []byte, root int) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "gather", int64(len(send)))
 	c.coll.Gather(c.p, c.rank, send, recv, root)
 	c.tr.End(id)
@@ -507,6 +528,7 @@ func (c *Comm) Gather(send, recv []byte, root int) {
 // Scatter distributes root's send (Size()*len(recv) bytes) so each rank
 // receives its block in recv.
 func (c *Comm) Scatter(send, recv []byte, root int) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "scatter", int64(len(recv)))
 	c.coll.Scatter(c.p, c.rank, send, recv, root)
 	c.tr.End(id)
@@ -515,6 +537,7 @@ func (c *Comm) Scatter(send, recv []byte, root int) {
 // Allgather concatenates every rank's send block into every rank's recv
 // (Size()*len(send) bytes), ordered by rank.
 func (c *Comm) Allgather(send, recv []byte) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "allgather", int64(len(send)))
 	c.coll.Allgather(c.p, c.rank, send, recv)
 	c.tr.End(id)
@@ -523,6 +546,7 @@ func (c *Comm) Allgather(send, recv []byte) {
 // Alltoall exchanges per-rank blocks: send and recv hold Size() blocks of
 // equal size; rank j receives this rank's block j at offset Rank().
 func (c *Comm) Alltoall(send, recv []byte) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "alltoall", int64(len(send)))
 	c.coll.Alltoall(c.p, c.rank, send, recv)
 	c.tr.End(id)
@@ -531,6 +555,7 @@ func (c *Comm) Alltoall(send, recv []byte) {
 // ReduceScatter combines every rank's send vector (Size()*len(recv)
 // bytes) elementwise and delivers reduced block i to rank i in recv.
 func (c *Comm) ReduceScatter(send, recv []byte, dt Datatype, op Op) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "reducescatter", int64(len(send)))
 	c.coll.ReduceScatter(c.p, c.rank, send, recv, dt, op)
 	c.tr.End(id)
@@ -539,6 +564,7 @@ func (c *Comm) ReduceScatter(send, recv []byte, dt Datatype, op Op) {
 // Scan leaves in recv the reduction of the send buffers of all ranks with
 // rank <= this one (inclusive prefix reduction).
 func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "scan", int64(len(send)))
 	c.coll.Scan(c.p, c.rank, send, recv, dt, op)
 	c.tr.End(id)
@@ -546,6 +572,7 @@ func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) {
 
 // Exscan is the exclusive prefix reduction; rank 0's recv is zeroed.
 func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) {
+	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "exscan", int64(len(send)))
 	c.coll.Exscan(c.p, c.rank, send, recv, dt, op)
 	c.tr.End(id)
@@ -667,6 +694,7 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 		env.Trace = trace.New(env.Now)
 	}
 	counters := make(map[string]*SharedCounter)
+	rs := newRunState(env, m.P())
 	res := &Result{PerRank: make([]float64, m.P()), Trace: env.Trace}
 	procs := make([]*sim.Proc, m.P())
 	// Schedule fault callbacks before spawning the ranks so a window opening
@@ -678,8 +706,10 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	for r := 0; r < m.P(); r++ {
 		r := r
 		procs[r] = env.SpawnIndexed("rank", r, func(p *sim.Proc) {
-			body(&Comm{p: p, rank: r, size: m.P(), m: m, dom: dom,
-				counters: counters, coll: coll, tr: env.Trace})
+			comm := &Comm{p: p, rank: r, size: m.P(), m: m, dom: dom,
+				counters: counters, coll: coll, tr: env.Trace, rs: rs}
+			body(comm)
+			comm.checkDrained()
 			res.PerRank[r] = p.Now()
 		})
 		if env.Trace != nil {
@@ -700,7 +730,7 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	if runErr != nil {
 		var ce *sim.CrashError
 		if errors.As(runErr, &ce) {
-			return nil, runErrorFrom(ce.Failures[0], procs)
+			return nil, runErrorFrom(ce.Failures[0], procs, rs.helperRank)
 		}
 		return nil, runErr
 	}
@@ -739,17 +769,28 @@ func (cl *Cluster) scheduleFaults(env *sim.Env, inj *fault.Injector, procs []*si
 
 // runErrorFrom converts a recovered process failure into a *RunError. The
 // failed rank is resolved by scanning the (small) proc slice — a cold path,
-// so Run need not build an eager name-to-rank map.
-func runErrorFrom(f sim.ProcFailure, procs []*sim.Proc) *RunError {
+// so Run need not build an eager name-to-rank map — falling back to the
+// helper-process registry when a non-blocking request's helper failed.
+func runErrorFrom(f sim.ProcFailure, procs []*sim.Proc, helperRank map[string]int) *RunError {
 	re := &RunError{Op: "run"}
+	found := false
 	for r, p := range procs {
 		if p.Name() == f.Proc {
 			re.Rank = r
+			found = true
 			break
+		}
+	}
+	if !found {
+		if r, ok := helperRank[f.Proc]; ok {
+			re.Rank = r
 		}
 	}
 	switch cause := f.Cause.(type) {
 	case *check.SizeError:
+		re.Op = cause.Op
+		re.Cause = cause
+	case *check.RequestError:
 		re.Op = cause.Op
 		re.Cause = cause
 	case sim.Crashed:

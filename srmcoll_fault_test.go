@@ -357,3 +357,131 @@ func TestUnreliableDropDeadlocksWithContext(t *testing.T) {
 		t.Fatal("deadlock report has no blocked-process context")
 	}
 }
+
+// nonblockingFaultBody overlaps outstanding requests with compute under
+// fault injection: two requests in flight at once, a Test-polled third,
+// and a final blocking barrier that quiesces the stream.
+func nonblockingFaultBody(out [][]byte) func(*Comm) {
+	return func(c *Comm) {
+		rank := c.Rank()
+
+		bcast := make([]byte, 1536)
+		if rank == 0 {
+			for i := range bcast {
+				bcast[i] = byte(i*7 + 3)
+			}
+		}
+		vals := make([]int64, 128)
+		for i := range vals {
+			vals[i] = int64(rank+1) * int64(i+3)
+		}
+		send := Int64Bytes(vals)
+		allred := make([]byte, len(send))
+
+		r1 := c.IBcast(bcast, 0)
+		r2 := c.IAllreduce(send, allred, Int64, Sum)
+		c.Compute(50)
+		r2.Wait()
+		r1.Wait()
+
+		scan := make([]byte, len(send))
+		r3 := c.IScan(send, scan, Int64, Sum)
+		for !r3.Test() {
+			c.Compute(5)
+		}
+		c.Barrier()
+
+		buf := append([]byte(nil), bcast...)
+		buf = append(buf, allred...)
+		buf = append(buf, scan...)
+		out[rank] = buf
+	}
+}
+
+// TestNonblockingSurvivesPutDrops: drops/dups under reliable RMA while
+// requests are outstanding must still complete with the fault-free bytes
+// and no deadlock.
+func TestNonblockingSurvivesPutDrops(t *testing.T) {
+	clean := mustCluster(t, 4, 2)
+	outClean := make([][]byte, 8)
+	if _, err := clean.Run(SRM, nonblockingFaultBody(outClean)); err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := mustCluster(t, 4, 2)
+	faulty.SetFaultPlan(FaultPlan{
+		Seed:     11,
+		Drop:     0.1,
+		Dup:      0.05,
+		Delay:    0.05,
+		DelayMax: 20,
+		Reliable: true,
+	})
+	outFaulty := make([][]byte, 8)
+	resFaulty, err := faulty.Run(SRM, nonblockingFaultBody(outFaulty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range outClean {
+		if !bytes.Equal(outClean[r], outFaulty[r]) {
+			t.Errorf("rank %d: payloads differ between clean and faulty run", r)
+		}
+	}
+	if resFaulty.Faults.PutDrops == 0 {
+		t.Fatal("no puts were dropped; the fault plan did nothing")
+	}
+}
+
+// TestNonblockingFaultRunsAreDeterministic: the same faulty non-blocking
+// workload twice must agree to the bit.
+func TestNonblockingFaultRunsAreDeterministic(t *testing.T) {
+	run := func() (*Result, [][]byte) {
+		cl := mustCluster(t, 4, 2)
+		cl.SetFaultPlan(FaultPlan{Seed: 23, Drop: 0.15, Dup: 0.1, Reliable: true})
+		out := make([][]byte, 8)
+		res, err := cl.Run(SRM, nonblockingFaultBody(out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, out
+	}
+	r1, o1 := run()
+	r2, o2 := run()
+	if r1.Time != r2.Time || r1.Stats != r2.Stats || r1.Events != r2.Events || r1.Faults != r2.Faults {
+		t.Error("identical faulty non-blocking runs differ")
+	}
+	for r := range o1 {
+		if !bytes.Equal(o1[r], o2[r]) {
+			t.Errorf("rank %d: bytes differ between identical faulty runs", r)
+		}
+	}
+}
+
+// TestNonblockingStallKeepsProgress: a stalled rank's outstanding request
+// still completes correctly — the helper (the rank's communication service
+// thread) is not subject to the rank's lost CPU.
+func TestNonblockingStallKeepsProgress(t *testing.T) {
+	cl := mustCluster(t, 2, 2)
+	cl.SetFaultPlan(FaultPlan{Stalls: []Stall{{Rank: 2, From: 0, Until: 400, Factor: 50}}})
+	out := make([][]byte, 4)
+	_, err := cl.Run(SRM, func(c *Comm) {
+		buf := make([]byte, 1024)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i * 11)
+			}
+		}
+		req := c.IBcast(buf, 0)
+		c.Compute(10)
+		req.Wait()
+		out[c.Rank()] = buf
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if !bytes.Equal(out[r], out[0]) {
+			t.Errorf("rank %d: broadcast corrupted under stall window", r)
+		}
+	}
+}

@@ -180,3 +180,82 @@ func TestTraceChromeJSONDeterministic(t *testing.T) {
 		t.Fatal("ChromeJSON differs between identical runs")
 	}
 }
+
+// TestTraceGoldenNonblockingTimeline pins the span timeline of a 2-node
+// IBcast issued over a Compute phase: the issue markers on the rank
+// tracks, the request op running on its helper track (the rank's
+// communication service thread), and the zero-width Wait spans once the
+// compute phase ends after the broadcast already completed. Regenerate by
+// printing res.Trace.TimelineText() if an intentional change shifts it.
+func TestTraceGoldenNonblockingTimeline(t *testing.T) {
+	res := tracedRun(t, 2, 1, func(c *Comm) {
+		buf := make([]byte, 64)
+		req := c.IBcast(buf, 0)
+		c.Compute(50)
+		req.Wait()
+	})
+	const golden = "" +
+		"     0.000      0.000  rank0          issue:ibcast 64B\n" +
+		"     0.000      0.000  rank1          issue:ibcast 64B\n" +
+		"     0.000      3.600  rank0.req0     ibcast 64B\n" +
+		"     0.000     16.614  rank1.req0     ibcast 64B\n" +
+		"     0.000     16.086  rank1.req0       wait:arrive\n" +
+		"     3.600      4.386  net/g2           put:inject 64B\n" +
+		"     4.386     12.886  net/g2           put:wire 64B\n" +
+		"    12.886     16.086  net/g2           put:deliver:poll\n" +
+		"    16.086     16.614  rank1.req0       chunk:slot 64B\n" +
+		"    16.086     16.614  rank1.req0         shm:copy 64B\n" +
+		"    50.000     50.000  rank0          wait:ibcast 64B\n" +
+		"    50.000     50.000  rank1          wait:ibcast 64B\n"
+	if got := res.Trace.TimelineText(); got != golden {
+		t.Fatalf("non-blocking timeline changed:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+	reqs := res.Trace.OverlapReport()
+	if len(reqs) != 2 {
+		t.Fatalf("OverlapReport has %d requests, want 2", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Name != "ibcast" || r.Bytes != 64 {
+			t.Errorf("request %+v: want ibcast 64B", r)
+		}
+		if r.Exposed != 0 {
+			t.Errorf("track %d: exposed %.3f, want 0 (compute outlasts the op)", r.Track, r.Exposed)
+		}
+		if r.Hidden <= 0 || r.Hidden != r.End-r.Issued {
+			t.Errorf("track %d: hidden %.3f, want the full op time %.3f", r.Track, r.Hidden, r.End-r.Issued)
+		}
+	}
+}
+
+// TestTraceOverlapExposedSplit checks the exposed/hidden split when the
+// compute phase is shorter than the operation: hidden equals the compute
+// time, exposed covers the rest of the request's lifetime.
+func TestTraceOverlapExposedSplit(t *testing.T) {
+	const work = 5.0
+	res := tracedRun(t, 2, 1, func(c *Comm) {
+		buf := make([]byte, 64)
+		req := c.IBcast(buf, 0)
+		c.Compute(work)
+		req.Wait()
+	})
+	reqs := res.Trace.OverlapReport()
+	if len(reqs) != 2 {
+		t.Fatalf("OverlapReport has %d requests, want 2", len(reqs))
+	}
+	var last ReqOverlap
+	for _, r := range reqs {
+		if r.End > last.End {
+			last = r
+		}
+	}
+	if last.Exposed <= 0 {
+		t.Fatalf("critical request shows no exposed time: %+v", last)
+	}
+	if d := last.Hidden - work; d > 1e-9 || d < -1e-9 {
+		t.Errorf("hidden %.9f, want the compute time %.1f", last.Hidden, work)
+	}
+	if d := (last.Exposed + last.Hidden) - (last.End - last.Issued); d > 1e-9 || d < -1e-9 {
+		t.Errorf("exposed %.9f + hidden %.9f does not cover the lifetime %.9f",
+			last.Exposed, last.Hidden, last.End-last.Issued)
+	}
+}
