@@ -14,6 +14,8 @@
 //	srmbench -benchjson F    # write the perf-regression report to F
 //	srmbench -trace F        # trace a basket of collectives to Chrome JSON
 //	srmbench -overlapjson F  # write the non-blocking overlap sweep to F
+//	srmbench -fig chaos      # fault-tolerance chaos campaign table
+//	srmbench -chaosjson F    # write the chaos-campaign report to F
 package main
 
 import (
@@ -44,13 +46,15 @@ func main() {
 		"trace a small basket of collectives and write Chrome trace-event JSON to this file")
 	overlapjson := flag.String("overlapjson", "",
 		"run the non-blocking overlap sweep and write the JSON report to this file")
+	chaosjson := flag.String("chaosjson", "",
+		"run the fault-tolerance chaos campaign and write the JSON report to this file")
 	flag.Parse()
 
 	// Validate every flag before doing any work, so a typo fails fast with a
 	// non-zero exit instead of surfacing mid-run (or never, for values only
 	// reached after hours of sweeping).
 	validFigs := map[string]bool{"": true, "2": true, "6": true, "7": true, "8": true,
-		"9": true, "10": true, "11": true, "12": true, "all": true}
+		"9": true, "10": true, "11": true, "12": true, "chaos": true, "all": true}
 	validAbls := map[string]bool{"": true, "trees": true, "smpbcast": true, "yield": true,
 		"chunks": true, "eager": true, "interrupts": true, "late": true, "15of16": true,
 		"daemons": true, "model": true, "overlap": true, "all": true}
@@ -68,8 +72,8 @@ func main() {
 		bad = true
 	}
 	if !bad && *fig == "" && !*headline && *ablation == "" && !*extension &&
-		*benchjson == "" && *traceOut == "" && *overlapjson == "" {
-		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson or -trace")
+		*benchjson == "" && *traceOut == "" && *overlapjson == "" && *chaosjson == "" {
+		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson, -chaosjson or -trace")
 		bad = true
 	}
 	if bad {
@@ -93,8 +97,29 @@ func main() {
 		fmt.Printf("wrote %s\n", *benchjson)
 	}
 	g := exp.DefaultGrid()
+	chaosCfg := exp.DefaultChaosConfig()
 	if *quick {
 		g = exp.QuickGrid()
+		chaosCfg = exp.QuickChaosConfig()
+	}
+
+	if *chaosjson != "" {
+		rep := exp.RunChaos(chaosCfg)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*chaosjson, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *chaosjson)
+		if h := rep.Hangs(); h > 0 {
+			fmt.Fprintf(os.Stderr, "srmbench: chaos campaign had %d non-clean runs\n", h)
+			os.Exit(1)
+		}
 	}
 
 	if *overlapjson != "" {
@@ -167,6 +192,8 @@ func main() {
 			emit(exp.FigRatio(g, op, srmcoll.MPICHMPI))
 		case f == "12":
 			emit(exp.Fig12(g))
+		case f == "chaos":
+			emit(exp.ChaosTable(exp.RunChaos(chaosCfg)))
 		default:
 			fmt.Fprintf(os.Stderr, "srmbench: unknown figure %q\n", f)
 			os.Exit(2)

@@ -1,0 +1,502 @@
+package srmcoll
+
+// Fault-tolerant collectives (ULFM-style). When a cluster enables fault
+// tolerance, a heartbeat failure detector watches every rank: a crashed
+// task stops acknowledging its heartbeats and is *declared failed* one
+// suspicion timeout after the first missed beat. Declaration is a global,
+// deterministic event in virtual time that
+//
+//   - marks the rank's RMA endpoint dead, so in-flight and future puts
+//     targeting it are dropped (and reliable-mode retransmit loops cut);
+//   - kills the rank's request-helper processes (the service thread dies
+//     with its task);
+//   - interrupts every surviving rank blocked inside a collective that
+//     includes the failed rank, unwinding the protocol into a structured
+//     *RankFailedError instead of a hang;
+//   - re-checks pending Agree/Shrink rendezvous, which complete over the
+//     survivors.
+//
+// Survivors repair the communicator with Comm.Shrink (rebuild over the
+// survivors) and agree on application state with Comm.Agree (fault-
+// tolerant agreement: bitwise AND over the survivors' contributions).
+// Both are rendezvous operations: every surviving member of the
+// communicator must call the same sequence of FT operations on it, and a
+// rank is released only once all survivors arrived (ranks declared failed
+// mid-rendezvous are excluded, so the rendezvous itself never hangs on a
+// crash). The whole recovery path is deterministic: same seed, same plan,
+// same declarations, bit-identical replay.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
+)
+
+// FTConfig enables and tunes the fault-tolerance subsystem. Times are
+// simulated microseconds.
+type FTConfig struct {
+	// Enabled turns fault tolerance on: collectives return structured
+	// errors instead of hanging when a member rank crashes, and Agree /
+	// Shrink become available. Off (the default), crashed runs report
+	// the crash itself and every timing stays bit-identical to a cluster
+	// that never heard of fault tolerance.
+	Enabled bool
+
+	// HeartbeatPeriod is the interval between heartbeats (default 50).
+	// A crash is noticed at the first beat after it happens.
+	HeartbeatPeriod float64
+
+	// SuspicionTimeout is how long after a missed beat the rank is
+	// declared failed (default 100). Declaration time for a crash at time
+	// t is floor(t/period)*period + period + timeout: the beat at or
+	// before the death went out, the next one is missed.
+	SuspicionTimeout float64
+}
+
+// DefaultFTConfig returns an enabled config with the default detector
+// timing (heartbeat every 50 us, declared failed 100 us after a missed
+// beat).
+func DefaultFTConfig() FTConfig {
+	return FTConfig{Enabled: true, HeartbeatPeriod: 50, SuspicionTimeout: 100}
+}
+
+// SetFaultTolerance installs the fault-tolerance configuration for
+// subsequent runs. Zero HeartbeatPeriod / SuspicionTimeout fall back to
+// the defaults (50 / 100).
+func (cl *Cluster) SetFaultTolerance(cfg FTConfig) { cl.ft = cfg }
+
+// FaultTolerance returns the cluster's current fault-tolerance config.
+func (cl *Cluster) FaultTolerance() FTConfig { return cl.ft }
+
+// RankFailedError is returned by a collective (or carried by a *Request)
+// when a member of the communicator has been declared failed: the
+// operation cannot complete and the communicator needs repair (Shrink)
+// before further collectives on it can succeed.
+type RankFailedError struct {
+	Op     string // the operation that observed the failure, e.g. "allreduce"
+	Rank   int    // the calling rank that got the error
+	Failed []int  // communicator members declared failed, ascending member order
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("srmcoll: %s on rank %d: rank(s) %v declared failed; shrink the communicator to continue",
+		e.Op, e.Rank, e.Failed)
+}
+
+// ErrRankFailed is the sentinel matched by errors.Is for every
+// *RankFailedError.
+var ErrRankFailed = errors.New("rank declared failed")
+
+func (e *RankFailedError) Unwrap() error { return ErrRankFailed }
+
+// FailureRecord reports one declared rank failure of a run.
+type FailureRecord struct {
+	Rank       int     // global rank that crashed
+	CrashedAt  float64 // virtual time the task died
+	DeclaredAt float64 // virtual time the detector declared it failed
+}
+
+// RepairRecord reports one completed Agree/Shrink rendezvous.
+type RepairRecord struct {
+	Kind        string  // "agree" or "shrink"
+	Comm        string  // communicator key ("world" or the member list)
+	StartedAt   float64 // first survivor entered
+	CompletedAt float64 // rendezvous completed (last survivor entered or last straggler declared)
+	Survivors   []int   // members that completed the rendezvous, ascending member order
+}
+
+// ftInterrupt is the panic payload delivered to a rank blocked inside a
+// collective when a member of its communicator is declared failed; the
+// ftRun recover turns it into a *RankFailedError.
+type ftInterrupt struct{ failed []int }
+
+// ftReg is one in-progress fault-sensitive operation: the process running
+// it (the rank itself, or a request helper) and the communicator it runs
+// on. Registered operations are interrupted when a member is declared.
+type ftReg struct {
+	p      *sim.Proc
+	c      *Comm
+	active bool
+}
+
+// ftGather is one pending Agree/Shrink rendezvous: per-member entry flags
+// and the completion event survivors park on.
+type ftGather struct {
+	key       string // comm key + "#" + round
+	kind      string // "agree" or "shrink"
+	members   []int  // global ranks, in member order
+	entered   map[int]uint64
+	ev        *sim.Event
+	done      bool
+	startedAt float64
+	result    uint64
+	survivors []int
+}
+
+// ftState is the per-Run fault-tolerance bookkeeping, shared by every Comm
+// of the run. All mutation happens on the single simulator thread.
+type ftState struct {
+	env   *sim.Env
+	det   *sim.Detector
+	procs []*sim.Proc // rank processes
+	rs    *runState
+	cfg   FTConfig
+
+	markDead func(rank int) // cuts RMA delivery to the rank
+
+	failed     []bool // declared failed, by global rank
+	crashed    []bool // actually dead (declaration may be pending)
+	inflight   []*ftReg
+	gathers    map[string]*ftGather
+	rounds     map[string]map[int]int // comm key -> rank -> FT ops entered
+	failures   []FailureRecord
+	repairs    []RepairRecord
+	unexpected []sim.ProcFailure // failures that are not plan crashes or their fallout
+}
+
+func newFTState(env *sim.Env, markDead func(int), procs []*sim.Proc, rs *runState, cfg FTConfig) *ftState {
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = 50
+	}
+	if cfg.SuspicionTimeout <= 0 {
+		cfg.SuspicionTimeout = 100
+	}
+	ft := &ftState{
+		env:      env,
+		procs:    procs,
+		rs:       rs,
+		cfg:      cfg,
+		markDead: markDead,
+		failed:   make([]bool, len(procs)),
+		crashed:  make([]bool, len(procs)),
+		gathers:  make(map[string]*ftGather),
+		rounds:   make(map[string]map[int]int),
+	}
+	ft.det = sim.NewDetector(env, cfg.HeartbeatPeriod, cfg.SuspicionTimeout)
+	ft.det.OnDeclare = func(p *sim.Proc, diedAt sim.Time) {
+		ft.declare(ft.rankOf(p), float64(diedAt))
+	}
+	return ft
+}
+
+// rankOf resolves a rank process to its rank, -1 for helpers.
+func (ft *ftState) rankOf(p *sim.Proc) int {
+	for r, rp := range ft.procs {
+		if rp == p {
+			return r
+		}
+	}
+	return -1
+}
+
+// onFailure is the Env.OnFailure hook: classify each process death as an
+// expected plan crash (start detection, take the rank's service helpers
+// down with it) or an unexpected failure (a real bug — surfaced as a
+// *RunError). It runs on the failing goroutine before its final yield, so
+// it may schedule events but must not park.
+func (ft *ftState) onFailure(p *sim.Proc, f sim.ProcFailure) {
+	if _, isCrash := f.Cause.(sim.Crashed); isCrash {
+		if r := ft.rankOf(p); r >= 0 {
+			ft.crashed[r] = true
+			// The rank's communication service thread dies with the task:
+			// kill its request helpers so they cannot keep driving the
+			// dead rank's side of a protocol.
+			for _, hp := range ft.rs.helpers[r] {
+				ft.env.Kill(hp, fmt.Sprintf("rank %d crashed", r))
+			}
+			ft.det.NotifyDeath(p, f.Time)
+			return
+		}
+		if r, ok := ft.rs.helperRank[p.Name()]; ok && ft.crashed[r] {
+			return // a helper killed above: fallout, not a new failure
+		}
+	}
+	ft.unexpected = append(ft.unexpected, f)
+}
+
+// declare marks rank d failed at the current virtual time and propagates:
+// endpoint death, interrupts into blocked collectives, rendezvous
+// re-checks. Deterministic: runs as a scheduled simulator event.
+func (ft *ftState) declare(d int, diedAt float64) {
+	if d < 0 || ft.failed[d] {
+		return
+	}
+	ft.failed[d] = true
+	now := float64(ft.env.Now())
+	ft.failures = append(ft.failures, FailureRecord{Rank: d, CrashedAt: diedAt, DeclaredAt: now})
+	ft.markDead(d)
+	if tr := ft.env.Trace; tr != nil {
+		g := tr.NewGroup()
+		tr.Add(g, -1, trace.ClassDetect, fmt.Sprintf("detect:rank%d", d), 0, diedAt, now)
+	}
+	// Interrupt every registered operation whose communicator contains the
+	// failed rank. Registration order is deterministic, so so is this.
+	for _, reg := range ft.inflight {
+		if !reg.active || !reg.c.hasMember(d) {
+			continue
+		}
+		ft.env.Interrupt(reg.p, ftInterrupt{failed: ft.failedIn(reg.c.memberList())})
+	}
+	// Pending rendezvous may now be complete (the failed rank was the
+	// straggler). Sorted key order keeps the replay bit-identical.
+	keys := make([]string, 0, len(ft.gathers))
+	for k := range ft.gathers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ft.checkGather(ft.gathers[k])
+	}
+}
+
+// failedIn returns the declared-failed ranks of a member list (nil =
+// world), in member order.
+func (ft *ftState) failedIn(members []int) []int {
+	var out []int
+	if members == nil {
+		for r, f := range ft.failed {
+			if f {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	for _, r := range members {
+		if ft.failed[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// register adds an in-progress operation to the interrupt set.
+func (ft *ftState) register(p *sim.Proc, c *Comm) *ftReg {
+	reg := &ftReg{p: p, c: c, active: true}
+	ft.inflight = append(ft.inflight, reg)
+	return reg
+}
+
+// deregister removes a finished operation. The slice stays compact: the
+// common case removes near the end.
+func (ft *ftState) deregister(reg *ftReg) {
+	reg.active = false
+	for i := len(ft.inflight) - 1; i >= 0; i-- {
+		if ft.inflight[i] == reg {
+			ft.inflight = append(ft.inflight[:i], ft.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// checkGather completes a rendezvous once every member has either entered
+// or been declared failed.
+func (ft *ftState) checkGather(g *ftGather) {
+	if g.done {
+		return
+	}
+	for _, r := range g.members {
+		if _, in := g.entered[r]; !in && !ft.failed[r] {
+			return
+		}
+	}
+	g.done = true
+	g.result = ^uint64(0)
+	for _, r := range g.members {
+		if ft.failed[r] {
+			continue
+		}
+		g.survivors = append(g.survivors, r)
+		g.result &= g.entered[r]
+	}
+	ft.repairs = append(ft.repairs, RepairRecord{
+		Kind: g.kind, Comm: g.key, StartedAt: g.startedAt,
+		CompletedAt: float64(ft.env.Now()),
+		Survivors:   append([]int(nil), g.survivors...),
+	})
+	delete(ft.gathers, g.key)
+	g.ev.Trigger()
+}
+
+// ftRun executes a fault-sensitive operation on behalf of proc p (the rank
+// itself for blocking calls, a request helper for non-blocking ones). It
+// registers the operation for failure interrupts, re-checks membership
+// after registering (closing the window against a declaration landing
+// between an earlier check and the park), and recovers the interrupt
+// unwind into a *RankFailedError.
+func (c *Comm) ftRun(opName string, p *sim.Proc, fn func()) (err error) {
+	ft := c.rs.ft
+	if ft == nil {
+		fn()
+		return nil
+	}
+	reg := ft.register(p, c)
+	defer ft.deregister(reg)
+	if fr := ft.failedIn(c.memberList()); len(fr) > 0 {
+		return &RankFailedError{Op: opName, Rank: c.rank, Failed: fr}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		fi, ok := r.(ftInterrupt)
+		if !ok {
+			panic(r)
+		}
+		// The unwind may have skipped an interrupt re-enable inside the
+		// protocol (the barrier manages interrupts inline); restoring is
+		// idempotent when nothing was pending.
+		c.dom.Endpoint(c.rank).SetInterrupts(true)
+		err = &RankFailedError{Op: opName, Rank: c.rank, Failed: fi.failed}
+	}()
+	fn()
+	return nil
+}
+
+// ftKey names this communicator's rendezvous stream: the member list, or
+// "world".
+func (c *Comm) ftKey() string {
+	if c.members == nil {
+		return "world"
+	}
+	return fmt.Sprint(c.members)
+}
+
+// memberList returns the communicator's global ranks (nil = world).
+func (c *Comm) memberList() []int { return c.members }
+
+// hasMember reports whether global rank r belongs to this communicator.
+func (c *Comm) hasMember(r int) bool {
+	if c.members == nil {
+		return true
+	}
+	for _, m := range c.members {
+		if m == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns the communicator's global ranks in member order.
+func (c *Comm) Members() []int {
+	if c.members == nil {
+		out := make([]int, c.size)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return append([]int(nil), c.members...)
+}
+
+// FailedRanks returns the communicator members declared failed so far, in
+// member order. Empty without fault tolerance.
+func (c *Comm) FailedRanks() []int {
+	if c.rs.ft == nil {
+		return nil
+	}
+	return c.rs.ft.failedIn(c.memberList())
+}
+
+// ftSync runs one rendezvous round on the communicator: every surviving
+// member must call it (in the same per-communicator FT-op order), and all
+// are released together once the last survivor arrives. The round is
+// charged a dissemination-style cost of 2*ceil(log2 n) message latencies.
+func (c *Comm) ftSync(kind string, flag uint64) (*ftGather, error) {
+	ft := c.rs.ft
+	if ft == nil {
+		return nil, errors.New("srmcoll: " + kind + " requires fault tolerance (Cluster.SetFaultTolerance)")
+	}
+	if ft.failed[c.rank] {
+		// A declared rank that is somehow still running (cannot happen
+		// for real crashes) must not join the survivors' rendezvous.
+		return nil, &RankFailedError{Op: kind, Rank: c.rank, Failed: []int{c.rank}}
+	}
+	c.quiesce()
+	key := c.ftKey()
+	byRank := ft.rounds[key]
+	if byRank == nil {
+		byRank = make(map[int]int)
+		ft.rounds[key] = byRank
+	}
+	round := byRank[c.rank]
+	byRank[c.rank] = round + 1
+	gkey := key + "#" + strconv.Itoa(round)
+	g := ft.gathers[gkey]
+	if g == nil {
+		g = &ftGather{
+			key: gkey, kind: kind, members: c.Members(),
+			entered:   make(map[int]uint64),
+			ev:        ft.env.NewEvent().Named(kind + " " + gkey),
+			startedAt: float64(ft.env.Now()),
+		}
+		ft.gathers[gkey] = g
+	}
+	if g.kind != kind {
+		panic(fmt.Sprintf("srmcoll: rank %d entered %s on %s but other members are in %s: FT operations must be called in the same order on every member",
+			c.rank, kind, key, g.kind))
+	}
+	g.entered[c.rank] = flag
+	ft.checkGather(g)
+	var cls trace.Class
+	if kind == "agree" {
+		cls = trace.ClassAgree
+	} else {
+		cls = trace.ClassShrink
+	}
+	id := c.tr.Begin(c.p.Track(), cls, kind, 0)
+	if !g.done {
+		c.p.Wait(g.ev)
+	}
+	c.p.Sleep(c.ftSyncCost(len(g.members)))
+	c.tr.End(id)
+	return g, nil
+}
+
+// ftSyncCost models the agreement protocol's latency: dissemination over
+// the members, two passes (propose, commit).
+func (c *Comm) ftSyncCost(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := int(math.Ceil(math.Log2(float64(n))))
+	cfg := c.m.Cfg
+	return 2 * float64(rounds) * float64(cfg.SendOverhead+cfg.NetLatency+cfg.RecvOverhead)
+}
+
+// Agree is fault-tolerant agreement on a 64-bit flag word: it returns the
+// bitwise AND of the flags contributed by every member that completed the
+// rendezvous (members declared failed mid-agreement are excluded). All
+// survivors receive the same result, even when some observe a failure and
+// others do not — the tool for deciding, after an error, how far the
+// computation verifiably got. Every surviving member of the communicator
+// must call it (the call blocks until they do); unlike a collective it
+// does not error on membership failures.
+func (c *Comm) Agree(flags uint64) (uint64, error) {
+	g, err := c.ftSync("agree", flags)
+	if err != nil {
+		return 0, err
+	}
+	return g.result, nil
+}
+
+// Shrink repairs the communicator after a failure: it synchronizes the
+// surviving members and returns a new communicator over exactly the ranks
+// that completed the rendezvous, with rank maps and collective trees
+// rebuilt. Every surviving member must call it and receives the same
+// member list. The calling rank keeps its global rank; Size() shrinks.
+// Collectives on the new communicator succeed as long as no *further*
+// failure hits it — another crash means another Shrink.
+func (c *Comm) Shrink() (*Comm, error) {
+	g, err := c.ftSync("shrink", 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.Sub(g.survivors), nil
+}

@@ -147,14 +147,28 @@ func (p Plan) Validate(tasks int) error {
 			return fmt.Errorf("fault: Channels[%d] ranks (%d, %d) out of range [-1, %d)", i, c.Src, c.Dst, tasks)
 		}
 	}
+	crashed := make(map[int]int, len(p.Crashes))
 	for i, c := range p.Crashes {
 		if c.Rank < 0 || c.Rank >= tasks {
 			return fmt.Errorf("fault: Crashes[%d].Rank = %d, want [0, %d)", i, c.Rank, tasks)
 		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: Crashes[%d].At = %g, want >= 0", i, c.At)
+		}
+		if j, dup := crashed[c.Rank]; dup {
+			return fmt.Errorf("fault: Crashes[%d] and Crashes[%d] both kill rank %d; a task crashes at most once", j, i, c.Rank)
+		}
+		crashed[c.Rank] = i
 	}
 	for i, s := range p.Stalls {
 		if s.Rank < 0 || s.Rank >= tasks {
 			return fmt.Errorf("fault: Stalls[%d].Rank = %d, want [0, %d)", i, s.Rank, tasks)
+		}
+		if s.From < 0 || s.Until < 0 {
+			return fmt.Errorf("fault: Stalls[%d] window [%g, %g) has a negative bound", i, s.From, s.Until)
+		}
+		if s.Until < s.From {
+			return fmt.Errorf("fault: Stalls[%d] window [%g, %g) ends before it starts", i, s.From, s.Until)
 		}
 		if s.Factor < 1 {
 			return fmt.Errorf("fault: Stalls[%d].Factor = %g, want >= 1", i, s.Factor)

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -115,13 +116,94 @@ func TestValidate(t *testing.T) {
 		{"drop>1", Plan{Drop: 1.5}, false},
 		{"negative", Plan{Dup: -0.1}, false},
 		{"crash rank", Plan{Crashes: []Crash{{Rank: 8, At: 0}}}, false},
+		{"negative crash time", Plan{Crashes: []Crash{{Rank: 1, At: -5}}}, false},
+		{"duplicate crash rank", Plan{Crashes: []Crash{{Rank: 2, At: 10}, {Rank: 2, At: 20}}}, false},
+		{"two crashes distinct ranks", Plan{Crashes: []Crash{{Rank: 2, At: 10}, {Rank: 3, At: 10}}}, true},
 		{"stall factor", Plan{Stalls: []Stall{{Rank: 0, Factor: 0.5}}}, false},
+		{"negative stall from", Plan{Stalls: []Stall{{Rank: 0, From: -1, Until: 5, Factor: 2}}}, false},
+		{"negative stall until", Plan{Stalls: []Stall{{Rank: 0, From: 0, Until: -5, Factor: 2}}}, false},
+		{"inverted stall window", Plan{Stalls: []Stall{{Rank: 0, From: 10, Until: 5, Factor: 2}}}, false},
+		{"valid stall window", Plan{Stalls: []Stall{{Rank: 0, From: 5, Until: 10, Factor: 2}}}, true},
 		{"channel rank", Plan{Channels: []ChannelFault{{Src: -2, Dst: 0}}}, false},
 	}
 	for _, c := range cases {
 		err := c.plan.Validate(8)
 		if (err == nil) != c.ok {
 			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestValidateErrorsNameTheFault(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"negative crash time", Plan{Crashes: []Crash{{Rank: 1, At: -5}}}, "Crashes[0].At = -5, want >= 0"},
+		{"duplicate crash rank", Plan{Crashes: []Crash{{Rank: 2, At: 10}, {Rank: 2, At: 20}}},
+			"Crashes[0] and Crashes[1] both kill rank 2"},
+		{"negative stall bound", Plan{Stalls: []Stall{{Rank: 0, From: -1, Until: 5, Factor: 2}}},
+			"Stalls[0] window [-1, 5) has a negative bound"},
+		{"inverted stall window", Plan{Stalls: []Stall{{Rank: 0, From: 10, Until: 5, Factor: 2}}},
+			"Stalls[0] window [10, 5) ends before it starts"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(8)
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad plan", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestMultiFaultPlanCounters drives an injector with a crash+storm+stall
+// plan plus wire faults, checking that Summary counts every fault kind the
+// run actually delivered and that the counts replay.
+func TestMultiFaultPlanCounters(t *testing.T) {
+	plan := Plan{
+		Seed: 11, Drop: 0.3, Dup: 0.2, Delay: 0.4, DelayMax: 20, AckDrop: 0.5,
+		Storms:  []Storm{{Node: 0, From: 0, Until: 100, Extra: 3}},
+		Stalls:  []Stall{{Rank: 1, From: 0, Until: 50, Factor: 2}},
+		Crashes: []Crash{{Rank: 2, At: 25}},
+	}
+	if err := plan.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	drive := func() Summary {
+		in := New(plan)
+		for i := 0; i < 400; i++ {
+			in.Put(0, 1)
+			in.AckDrop(1, 0)
+		}
+		in.StormDelay(0, 50) // inside the storm window
+		in.StormDelay(0, 150)
+		in.StormDelay(1, 50)
+		in.CountStall()
+		in.CountCrash()
+		return in.Summary()
+	}
+	sum := drive()
+	if sum.PutDrops == 0 || sum.PutDups == 0 || sum.PutDelays == 0 || sum.AckDrops == 0 {
+		t.Fatalf("wire fault kinds missing from summary %v", sum)
+	}
+	if sum.StormHits != 1 {
+		t.Errorf("StormHits = %d, want 1 (only the in-window query on the stormy node)", sum.StormHits)
+	}
+	if sum.Stalls != 1 || sum.Crashes != 1 {
+		t.Errorf("Stalls/Crashes = %d/%d, want 1/1", sum.Stalls, sum.Crashes)
+	}
+	if again := drive(); again != sum {
+		t.Errorf("replay diverged: %v != %v", again, sum)
+	}
+	// Every counted kind must show up in the rendered summary.
+	str := sum.String()
+	for _, k := range []string{"putDrops", "putDups", "putDelays", "ackDrops", "stormHits", "stalls", "crashes"} {
+		if !strings.Contains(str, k) {
+			t.Errorf("Summary.String() %q missing %q", str, k)
 		}
 	}
 }

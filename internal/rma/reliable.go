@@ -238,6 +238,13 @@ func (d *Domain) reliablePut(src, target *Endpoint, par int, dst, snap []byte, o
 			if acked {
 				return
 			}
+			if target.dead {
+				// The target was declared failed while this put was in
+				// flight. Without the cutoff the retransmit loop would
+				// reschedule forever (nobody is left to make the ack path
+				// win against injected ack drops at probability 1).
+				return
+			}
 			m.Stats.AckTimeouts++
 			m.Stats.Retries++
 			attempt(try + 1)

@@ -86,6 +86,7 @@ type Endpoint struct {
 	Node       int
 	inCall     bool
 	interrupts bool
+	dead       bool     // task declared failed; deliveries are dropped
 	pending    []func() // deferred deliveries awaiting a progress opportunity
 }
 
@@ -115,6 +116,25 @@ func NewDomain(m *machine.Machine) *Domain {
 
 // Endpoint returns the endpoint of a global rank.
 func (d *Domain) Endpoint(rank int) *Endpoint { return d.eps[rank] }
+
+// MarkDead records that a rank's task has been declared failed. From this
+// point deliveries addressed to it are dropped (the link-level machinery —
+// injection, acks, retransmit suppression — keeps running in the adapter,
+// so origins of in-flight reliable puts still converge), its deferred
+// deliveries are discarded, and reliable retransmit loops targeting it
+// stop rescheduling. Marking a rank dead twice is a no-op.
+func (d *Domain) MarkDead(rank int) {
+	ep := d.eps[rank]
+	if ep.dead {
+		return
+	}
+	ep.dead = true
+	ep.pending = nil
+	ep.inCall = false
+}
+
+// Dead reports whether the rank has been marked failed.
+func (d *Domain) Dead(rank int) bool { return d.eps[rank].dead }
 
 // Machine returns the underlying machine model.
 func (d *Domain) Machine() *machine.Machine { return d.m }
@@ -156,9 +176,12 @@ func (ep *Endpoint) drainPending(p *sim.Proc) {
 func (ep *Endpoint) Waitcntr(p *sim.Proc, c *Counter, v int) {
 	ep.drainPending(p)
 	ep.inCall = true
+	// Restore via defer: a crash or fault-tolerance interrupt can unwind
+	// through the wait, and a stuck inCall=true would make every later
+	// delivery to this (possibly surviving) task look like a poll.
+	defer func() { ep.inCall = false }()
 	c.waitGE(p, v)
 	c.val -= v
-	ep.inCall = false
 }
 
 // Probe gives the dispatcher one progress opportunity without blocking
@@ -175,6 +198,12 @@ func (ep *Endpoint) Probe(p *sim.Proc) { ep.drainPending(p) }
 // to the moment fn runs, named after the mode that delivered it.
 func (ep *Endpoint) deliver(g, par int, fn func()) {
 	m := ep.dom.m
+	if ep.dead {
+		// The task was declared failed: its adapter still acks at the link
+		// level (reliable.go), but nothing is delivered to the dead task.
+		m.Stats.DeadDrops++
+		return
+	}
 	tr := m.Env.Trace
 	switch {
 	case ep.inCall:

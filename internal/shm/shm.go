@@ -50,11 +50,13 @@ func (f *Flag) WaitUntil(p *sim.Proc, pred func(int) bool) {
 	}
 	id := f.m.Env.Trace.Begin(p.Track(), trace.ClassWaitFlag, "wait:flag", 0)
 	f.m.SpinEnter(f.node)
+	// Exit the spinner set via defer: a crash or fault-tolerance interrupt
+	// unwinding through the wait must not leave a phantom spinner inflating
+	// the node's starvation penalty forever.
+	defer func() { f.m.SpinExit(f.node); f.m.Env.Trace.End(id) }()
 	for !pred(f.val) {
 		f.cond.WaitOn(p, f, -1)
 	}
-	f.m.SpinExit(f.node)
-	f.m.Env.Trace.End(id)
 }
 
 // WaitGE spins until the flag value is >= v. This covers the monotone
@@ -65,11 +67,10 @@ func (f *Flag) WaitGE(p *sim.Proc, v int) {
 	}
 	id := f.m.Env.Trace.Begin(p.Track(), trace.ClassWaitFlag, "wait:flag", 0)
 	f.m.SpinEnter(f.node)
+	defer func() { f.m.SpinExit(f.node); f.m.Env.Trace.End(id) }()
 	for f.val < v {
 		f.cond.WaitOn(p, f, v)
 	}
-	f.m.SpinExit(f.node)
-	f.m.Env.Trace.End(id)
 }
 
 // WaitFor spins until the flag equals v.
@@ -79,11 +80,10 @@ func (f *Flag) WaitFor(p *sim.Proc, v int) {
 	}
 	id := f.m.Env.Trace.Begin(p.Track(), trace.ClassWaitFlag, "wait:flag", 0)
 	f.m.SpinEnter(f.node)
+	defer func() { f.m.SpinExit(f.node); f.m.Env.Trace.End(id) }()
 	for f.val != v {
 		f.cond.WaitOn(p, f, v)
 	}
-	f.m.SpinExit(f.node)
-	f.m.Env.Trace.End(id)
 }
 
 // DescribeWait implements sim.WaitDescriber for stall reports.

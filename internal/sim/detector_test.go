@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestDetectorDeclareTime(t *testing.T) {
+	d := NewDetector(NewEnv(), 50, 100)
+	cases := []struct {
+		diedAt, want Time
+	}{
+		{0, 150},    // last beat at 0, missed beat at 50, +timeout
+		{1, 150},    // mid-period death waits for the same missed beat
+		{49.9, 150}, // just before the beat still counts the beat as missed
+		{50, 200},   // death exactly on a beat: that beat went out, 100 is missed
+		{125, 250},  // beat at 100 sent, 150 missed
+		{1000, 1150},
+	}
+	for _, c := range cases {
+		if got := d.DeclareTime(c.diedAt); got != c.want {
+			t.Errorf("DeclareTime(%v) = %v, want %v", c.diedAt, got, c.want)
+		}
+	}
+}
+
+func TestDetectorZeroPeriod(t *testing.T) {
+	d := NewDetector(NewEnv(), 0, 25)
+	if got := d.DeclareTime(10); got != 35 {
+		t.Errorf("DeclareTime(10) = %v, want 35", got)
+	}
+}
+
+func TestDetectorDeclaresOnceAtDeclareTime(t *testing.T) {
+	e := NewEnv()
+	d := NewDetector(e, 50, 100)
+	var declared []string
+	d.OnDeclare = func(p *Proc, diedAt Time) {
+		declared = append(declared, fmt.Sprintf("%s died=%v at=%v", p.Name(), diedAt, e.Now()))
+	}
+	victim := e.Spawn("victim", func(p *Proc) { p.Sleep(1000) })
+	e.At(30, func() { e.Kill(victim, "crash") })
+	e.OnFailure = func(p *Proc, f ProcFailure) {
+		var c Crashed
+		if errors.As(asError(f.Cause), &c) {
+			d.NotifyDeath(p, f.Time)
+		}
+	}
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	// The sleeping victim wakes (and dies) at t=1000, so detection keys off
+	// the actual death time, not the kill time.
+	want := []string{"victim died=1000 at=1150"}
+	if fmt.Sprint(declared) != fmt.Sprint(want) {
+		t.Errorf("declarations = %v, want %v", declared, want)
+	}
+}
+
+func asError(v any) error {
+	if err, ok := v.(error); ok {
+		return err
+	}
+	return fmt.Errorf("%v", v)
+}
+
+func TestInterruptParkedProcess(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	var got any
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			got = recover()
+			at = p.Now()
+		}()
+		p.Wait(ev)
+	})
+	e.At(7, func() {
+		for p := range e.parked {
+			e.Interrupt(p, nil) // nil payload is a no-op
+			e.Interrupt(p, "revoked")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "revoked" {
+		t.Errorf("recovered %v, want \"revoked\"", got)
+	}
+	if at != 7 {
+		t.Errorf("interrupt delivered at t=%v, want 7", at)
+	}
+	if len(ev.waiters) != 0 {
+		t.Errorf("event still holds %d waiters after interrupt", len(ev.waiters))
+	}
+}
+
+func TestInterruptDropsWaiterSoTriggerIsClean(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	other := e.NewEvent()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				order = append(order, "a:interrupted")
+				// Survive and park somewhere else; a stale waiter entry on
+				// ev would wake us spuriously when ev triggers.
+			}
+			p.Wait(other)
+			order = append(order, "a:other")
+		}()
+		p.Wait(ev)
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Wait(ev)
+		order = append(order, "b:ev")
+	})
+	e.At(1, func() {
+		for p := range e.parked {
+			if p.Name() == "a" {
+				e.Interrupt(p, "intr")
+			}
+		}
+	})
+	e.At(2, ev.Trigger)
+	e.At(3, other.Trigger)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "[a:interrupted b:ev a:other]"
+	if fmt.Sprint(order) != want {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestInterruptSleepingProcessDeliversAtWake(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				at = p.Now()
+			}
+		}()
+		p.Sleep(100)
+	})
+	var victim *Proc
+	e.At(0, func() {
+		// Grab the proc handle: it is the only live proc.
+		for _, it := range e.queue {
+			if it.p != nil {
+				victim = it.p
+			}
+		}
+	})
+	e.At(10, func() { e.Interrupt(victim, "late") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Errorf("interrupt delivered at t=%v, want 100 (end of sleep)", at)
+	}
+}
+
+func TestKillBeatsInterrupt(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	reached := false
+	victim := e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if _, ok := recover().(Crashed); ok {
+				reached = true
+				panic(Crashed{Reason: "rethrow"})
+			}
+		}()
+		p.Wait(ev)
+	})
+	e.At(1, func() {
+		e.Kill(victim, "dead")
+		e.Interrupt(victim, "intr") // no-op on a killed process
+	})
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if !reached {
+		t.Error("process saw interrupt instead of crash")
+	}
+}
+
+func TestInterruptFinishedProcessIsNoop(t *testing.T) {
+	e := NewEnv()
+	p := e.Spawn("p", func(p *Proc) {})
+	e.At(5, func() { e.Interrupt(p, "x") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceDropWaiter(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	var order []string
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10)
+		r.Release()
+	})
+	e.Spawn("a", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				order = append(order, "a:interrupted")
+			}
+		}()
+		p.Sleep(1)
+		r.Acquire(p)
+		order = append(order, "a:acquired")
+		r.Release()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(2)
+		r.Acquire(p)
+		order = append(order, "b:acquired")
+		r.Release()
+	})
+	e.At(5, func() {
+		for p := range e.parked {
+			if p.Name() == "a" {
+				e.Interrupt(p, "intr")
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// a was queued first but interrupted out of the queue; the token must
+	// transfer cleanly to b when the holder releases.
+	want := "[a:interrupted b:acquired]"
+	if fmt.Sprint(order) != want {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestOnFailureHookSeesCause(t *testing.T) {
+	e := NewEnv()
+	var hooked []string
+	e.OnFailure = func(p *Proc, f ProcFailure) {
+		hooked = append(hooked, fmt.Sprintf("%s:%v", f.Proc, f.Cause))
+	}
+	e.Spawn("boom", func(p *Proc) { panic("bang") })
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if fmt.Sprint(hooked) != "[boom:bang]" {
+		t.Errorf("hook saw %v", hooked)
+	}
+}

@@ -36,6 +36,15 @@ func (r *Resource) ID() string {
 
 func (r *Resource) waitID() string { return r.ID() }
 
+func (r *Resource) dropWaiter(p *Proc) {
+	for i, w := range r.queue {
+		if w == p {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return
+		}
+	}
+}
+
 // DescribeWait implements WaitDescriber for stall reports.
 func (r *Resource) DescribeWait(int) string {
 	return fmt.Sprintf("%s (in use %d/%d, %d queued)", r.ID(), r.inUse, r.cap, len(r.queue))
@@ -87,6 +96,6 @@ func (r *Resource) Use(p *Proc, fn func()) {
 // known service time.
 func (r *Resource) Hold(p *Proc, d Time) {
 	r.Acquire(p)
+	defer r.Release() // release even if the process is killed mid-sleep
 	p.Sleep(d)
-	r.Release()
 }

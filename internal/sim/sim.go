@@ -42,6 +42,13 @@ type Env struct {
 	failures  []ProcFailure // processes that panicked (recovered)
 	free      []*item       // recycled queue items (steady state allocates none)
 	processed uint64        // queue items executed so far
+
+	// OnFailure, when non-nil, is called immediately after a process
+	// failure is recorded (from the failing goroutine, before control
+	// returns to the scheduler). Fault-tolerance layers use it to classify
+	// deaths and schedule detection. The hook must not block or park; it
+	// may schedule callbacks via At/After and inspect simulation state.
+	OnFailure func(p *Proc, f ProcFailure)
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -136,9 +143,14 @@ type WaitDescriber interface {
 }
 
 // waitable is a synchronization resource a process can park on; waitID is
-// the lazily formatted id or label used in wait-graph reports.
+// the lazily formatted id or label used in wait-graph reports. dropWaiter
+// removes a process from the resource's waiter list without waking it —
+// Env.Interrupt uses it so an interrupted process does not linger as a
+// stale waiter (which would cause spurious wakes or double entries when
+// the process parks somewhere else).
 type waitable interface {
 	waitID() string
+	dropWaiter(p *Proc)
 }
 
 // Proc is a simulated process. Methods on Proc must only be called from the
@@ -153,6 +165,7 @@ type Proc struct {
 	track  int // trace track id, or -1 when the process is untracked
 	done   bool
 	killed string  // non-empty: injected crash reason, raised at next resume
+	intr   any     // pending interrupt payload, panicked at next resume
 	slow   float64 // Sleep stretch factor (stall windows); 0 or 1 = none
 
 	// Wait context, set while the process is parked with no scheduled
@@ -217,7 +230,11 @@ func (e *Env) spawn(prefix string, num int, fn func(*Proc)) *Proc {
 		<-p.resume // wait for first scheduling
 		defer func() {
 			if r := recover(); r != nil {
-				e.failures = append(e.failures, ProcFailure{Proc: p.Name(), Time: e.now, Cause: r})
+				f := ProcFailure{Proc: p.Name(), Time: e.now, Cause: r}
+				e.failures = append(e.failures, f)
+				if e.OnFailure != nil {
+					e.OnFailure(p, f)
+				}
 			}
 			p.done = true
 			e.live--
@@ -260,6 +277,31 @@ func (e *Env) Kill(p *Proc, reason string) {
 	}
 	// Otherwise the process is sleeping (or not yet started) and its
 	// queued wake-up delivers the crash.
+}
+
+// Interrupt delivers an asynchronous interrupt to p: the process panics
+// with payload the next time it would run (immediately at the current
+// virtual time if it is parked on an Event or Cond). Unlike Kill the
+// process is expected to survive — a recover along its call stack (e.g.
+// the fault-tolerant collective wrapper) turns the unwind into a
+// structured error. If the process is parked, it is first removed from
+// the waiter list of the resource it parked on, so no stale waiter entry
+// remains. Interrupting a finished, killed, or already-interrupted
+// process is a no-op, as is a nil payload. Like Kill, Interrupt is called
+// from event callbacks, not from p's own goroutine.
+func (e *Env) Interrupt(p *Proc, payload any) {
+	if p.done || p.killed != "" || p.intr != nil || payload == nil {
+		return
+	}
+	p.intr = payload
+	if e.parked[p] {
+		if p.waitOn != nil {
+			p.waitOn.dropWaiter(p)
+		}
+		e.unblock(p)
+	}
+	// Otherwise the process is sleeping (or running to its next park) and
+	// its next resume delivers the interrupt.
 }
 
 // SetSlowdown stretches p's subsequent Sleep durations by factor, modeling
@@ -321,6 +363,18 @@ func (p *Proc) park() {
 	p.env.yield <- struct{}{}
 	<-p.resume
 	p.checkKilled()
+	p.checkInterrupt()
+}
+
+// checkInterrupt raises a pending interrupt on the process's own stack. An
+// injected crash (checkKilled) takes precedence: a dead process does not
+// observe interrupts.
+func (p *Proc) checkInterrupt() {
+	if p.intr != nil {
+		v := p.intr
+		p.intr = nil
+		panic(v)
+	}
 }
 
 // Sleep advances the process by d virtual time (negative d counts as zero).
@@ -435,6 +489,15 @@ func (ev *Event) ID() string {
 
 func (ev *Event) waitID() string { return ev.ID() }
 
+func (ev *Event) dropWaiter(p *Proc) {
+	for i, w := range ev.waiters {
+		if w == p {
+			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
 // Done reports whether the event has been triggered.
 func (ev *Event) Done() bool { return ev.done }
 
@@ -494,6 +557,15 @@ func (c *Cond) ID() string {
 }
 
 func (c *Cond) waitID() string { return c.ID() }
+
+func (c *Cond) dropWaiter(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
 
 // Wait blocks the process until the next Broadcast.
 func (c *Cond) Wait(p *Proc) {
@@ -622,6 +694,21 @@ func (e *Env) RunUntil(limit Time) error {
 	}
 	return nil
 }
+
+// DeadlockReport builds a structured report of the currently blocked
+// processes, or nil when no live processes remain. Fault-tolerant drivers
+// use it after filtering expected crashes out of a *CrashError to decide
+// whether the survivors actually deadlocked.
+func (e *Env) DeadlockReport() *DeadlockError {
+	if e.live == 0 {
+		return nil
+	}
+	return e.deadlock()
+}
+
+// Idle reports whether no queued event can still change simulation state
+// (every remaining item is a wake-up of an already-finished process).
+func (e *Env) Idle() bool { return !e.anyPotentialProgress() }
 
 // anyPotentialProgress reports whether any queued event could still change
 // simulation state: a callback (opaque, assumed potent) or a wake-up of a

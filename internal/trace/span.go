@@ -39,6 +39,9 @@ const (
 	ClassReqIssue                // non-blocking request issued (zero-width marker on the calling rank)
 	ClassReqOp                   // non-blocking request executing on its helper track
 	ClassReqWait                 // calling rank blocked in Request.Wait (exposed communication)
+	ClassDetect                  // failure-detector latency: rank death until its declaration
+	ClassAgree                   // rank blocked in fault-tolerant agreement
+	ClassShrink                  // rank blocked in communicator shrink/repair
 	numClasses
 )
 
@@ -48,6 +51,7 @@ var classNames = [numClasses]string{
 	"wait:arrive", "wait:ack", "wait:credit", "wait:cntr", "wait:flag",
 	"cpu", "skew",
 	"req:issue", "req:op", "req:wait",
+	"detect", "agree", "shrink",
 }
 
 // String returns the stable class label used in reports and exports.

@@ -37,6 +37,7 @@ type Stats struct {
 	Retries        int // reliable-mode retransmissions
 	DupsSuppressed int // duplicate deliveries suppressed by sequence dedup
 	AckTimeouts    int // reliable-mode ack timers that expired
+	DeadDrops      int // deliveries dropped because the target was declared failed
 
 	// MPI point-to-point traffic (baselines).
 	MPISends    int
@@ -119,6 +120,7 @@ func (s Stats) Sub(o Stats) Stats {
 		Retries:        s.Retries - o.Retries,
 		DupsSuppressed: s.DupsSuppressed - o.DupsSuppressed,
 		AckTimeouts:    s.AckTimeouts - o.AckTimeouts,
+		DeadDrops:      s.DeadDrops - o.DeadDrops,
 		MPISends:       s.MPISends - o.MPISends,
 		MPIBytes:       s.MPIBytes - o.MPIBytes,
 		EagerSends:     s.EagerSends - o.EagerSends,
@@ -151,6 +153,7 @@ func (s Stats) String() string {
 		{"deferrals", int64(s.Deferrals)}, {"starves", int64(s.Starves)},
 		{"drops", int64(s.Drops)}, {"retries", int64(s.Retries)},
 		{"dupsSuppressed", int64(s.DupsSuppressed)}, {"ackTimeouts", int64(s.AckTimeouts)},
+		{"deadDrops", int64(s.DeadDrops)},
 		{"mpiSends", int64(s.MPISends)}, {"mpiBytes", s.MPIBytes},
 		{"eager", int64(s.EagerSends)}, {"rndv", int64(s.RndvSends)},
 		{"unexpected", int64(s.Unexpected)}, {"mpiShmSends", int64(s.MPIShmSends)},

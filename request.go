@@ -59,6 +59,7 @@ type Request struct {
 	group    int // trace group linking issue/op/wait spans, -1 untraced
 	bufs     []check.Buf
 	consumed bool
+	err      error // fault-tolerance outcome, set before done triggers
 }
 
 // String identifies the request in errors and stall reports.
@@ -81,9 +82,11 @@ type reqStream struct {
 type runState struct {
 	env        *sim.Env
 	streams    []*reqStream
-	helperRank map[string]int // helper proc name -> issuing rank
-	nextTrack  int            // next helper trace track (ranks use 0..P-1, core helpers P..2P-1)
+	helperRank map[string]int      // helper proc name -> issuing rank
+	helpers    map[int][]*sim.Proc // issuing rank -> helper procs (FT kills them with the rank)
+	nextTrack  int                 // next helper trace track (ranks use 0..P-1, core helpers P..2P-1)
 	subs       map[subKey]*Comm
+	ft         *ftState // nil unless the cluster enabled fault tolerance
 }
 
 type subKey struct {
@@ -96,6 +99,7 @@ func newRunState(env *sim.Env, p int) *runState {
 		env:        env,
 		streams:    make([]*reqStream, p),
 		helperRank: make(map[string]int),
+		helpers:    make(map[int][]*sim.Proc),
 		nextTrack:  2 * p,
 		subs:       make(map[subKey]*Comm),
 	}
@@ -156,6 +160,18 @@ func (c *Comm) issue(op string, bytes int64, bufs []check.Buf, run func(hp *sim.
 	req := &Request{c: c, name: name, op: op, seq: st.seq, bytes: bytes, group: -1, bufs: bufs}
 	st.seq++
 	req.done = c.rs.env.NewEvent().Named(fmt.Sprintf("request %s on rank %d", req, c.rank))
+	if ft := c.rs.ft; ft != nil {
+		if fr := ft.failedIn(c.memberList()); len(fr) > 0 {
+			// The communicator is already known broken: complete the request
+			// immediately with the failure instead of spawning a helper that
+			// would error on registration anyway. The stream tail is left
+			// unchanged — there is nothing to serialize after.
+			req.err = &RankFailedError{Op: name, Rank: c.rank, Failed: fr}
+			req.done.Trigger()
+			st.live = append(st.live, req)
+			return req
+		}
+	}
 	if c.tr != nil {
 		req.group = c.tr.NewGroup()
 		iid := c.tr.Begin(c.p.Track(), trace.ClassReqIssue, "issue:"+name, bytes)
@@ -176,11 +192,12 @@ func (c *Comm) issue(op string, bytes int64, bufs []check.Buf, run func(hp *sim.
 			oid = c.tr.Begin(track, trace.ClassReqOp, name, bytes)
 			c.tr.Link(oid, req.group)
 		}
-		run(hp)
+		req.err = c.ftRun(name, hp, func() { run(hp) })
 		c.tr.End(oid)
 		req.done.Trigger()
 	})
 	c.rs.helperRank[hp.Name()] = c.rank
+	c.rs.helpers[c.rank] = append(c.rs.helpers[c.rank], hp)
 	st.tail = req.done
 	st.live = append(st.live, req)
 	return req
@@ -199,10 +216,12 @@ func (r *Request) consume() {
 }
 
 // Wait blocks the issuing rank until the operation has completed, then
-// releases the request's buffers back to the caller. Waiting on a request
+// releases the request's buffers back to the caller. It returns nil on
+// success or the *RankFailedError the operation died with when a member of
+// the communicator was declared failed mid-flight. Waiting on a request
 // that already completed (a second Wait, or Wait after Test returned true)
 // is a diagnosed error.
-func (r *Request) Wait() {
+func (r *Request) Wait() error {
 	c := r.c
 	if r.consumed {
 		panic(&check.RequestError{
@@ -219,7 +238,13 @@ func (r *Request) Wait() {
 		c.p.Wait(r.done)
 	}
 	r.consume()
+	return r.err
 }
+
+// Err returns the request's completion error: nil while in flight or on
+// success, the *RankFailedError otherwise. Valid any time; authoritative
+// once the request completed (Wait returned or Test reported true).
+func (r *Request) Err() error { return r.err }
 
 // Test polls the request: it yields the rank's time slice once and reports
 // whether the operation has completed, consuming the request if so (a later

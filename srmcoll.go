@@ -173,15 +173,26 @@ func (e *RunError) Unwrap() error { return e.Cause }
 type StallError struct {
 	Time    float64       // virtual time the deadline stopped the run
 	Blocked []BlockedProc // parked processes and what they wait on
+	Faults  FaultSummary  // faults injected up to the stall
 }
 
 func (e *StallError) Error() string {
 	s := fmt.Sprintf("srmcoll: run stalled at deadline t=%.3f: %d blocked", e.Time, len(e.Blocked))
+	if e.Faults != (FaultSummary{}) {
+		s += fmt.Sprintf(", faults %s", e.Faults)
+	}
 	for _, b := range e.Blocked {
 		s += fmt.Sprintf("\n  %s: waiting on %s (blocked since t=%.3f)", b.Name, b.Waiting, b.Since)
 	}
 	return s
 }
+
+// ErrDeadline is the sentinel matched by errors.Is for every *StallError:
+// the run was cut off by the fault plan's deadline, not by a protocol
+// error of its own.
+var ErrDeadline = errors.New("fault-plan deadline exceeded")
+
+func (e *StallError) Unwrap() error { return ErrDeadline }
 
 // Trace is the deterministic span timeline of one traced run: virtual-time
 // spans per rank (collective roots, SMP phases, waits, copies) plus async
@@ -212,6 +223,7 @@ type Cluster struct {
 	cfg     Config
 	variant Variant
 	faults  FaultPlan
+	ft      FTConfig
 	tracing bool
 }
 
@@ -250,11 +262,15 @@ func (cl *Cluster) Config() Config { return cl.cfg }
 // Result reports one SPMD run.
 type Result struct {
 	Time    float64      // virtual microseconds until the last rank finished
-	PerRank []float64    // per-rank completion times
+	PerRank []float64    // per-rank completion times (0 for crashed ranks)
 	Stats   trace.Stats  // data-movement and protocol counters
 	Faults  FaultSummary // faults actually injected (zero without a plan)
 	Events  uint64       // simulator queue items executed during the run
 	Trace   *Trace       // span timeline (nil unless Cluster.SetTracing(true))
+
+	// Fault-tolerance outcome (empty unless Cluster.SetFaultTolerance).
+	Failures []FailureRecord // declared rank failures, in declaration order
+	Repairs  []RepairRecord  // completed Agree/Shrink rendezvous, in completion order
 }
 
 // Comm is a rank's handle inside a Run body: its identity plus the
@@ -264,6 +280,7 @@ type Comm struct {
 	p        *sim.Proc
 	rank     int
 	size     int
+	members  []int // global ranks in member order; nil for the world comm
 	m        *machine.Machine
 	dom      *rma.Domain
 	counters map[string]*SharedCounter
@@ -452,6 +469,7 @@ func (c *Comm) Sub(members []int) *Comm {
 		p:        c.p,
 		rank:     c.rank,
 		size:     len(members),
+		members:  append([]int(nil), members...),
 		m:        c.m,
 		dom:      c.dom,
 		counters: c.counters,
@@ -483,106 +501,131 @@ func (c *Comm) Now() float64 { return c.p.Now() }
 // local computation between communication phases.
 func (c *Comm) Compute(us float64) { c.p.Sleep(us) }
 
+// Every blocking collective returns nil without fault tolerance (and when
+// no member has failed); with fault tolerance enabled, a declared member
+// failure surfaces as a *RankFailedError — at entry if the failure is
+// already known, or by unwinding the protocol mid-operation when the
+// declaration lands while this rank is blocked inside it. After an error
+// the communicator needs Comm.Shrink before further collectives on it.
+
 // Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() {
+func (c *Comm) Barrier() error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "barrier", 0)
-	c.coll.Barrier(c.p, c.rank)
+	err := c.ftRun("barrier", c.p, func() { c.coll.Barrier(c.p, c.rank) })
 	c.tr.End(id)
+	return err
 }
 
 // Bcast broadcasts buf from root; on other ranks buf is overwritten.
-func (c *Comm) Bcast(buf []byte, root int) {
+func (c *Comm) Bcast(buf []byte, root int) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "bcast", int64(len(buf)))
-	c.coll.Bcast(c.p, c.rank, buf, root)
+	err := c.ftRun("bcast", c.p, func() { c.coll.Bcast(c.p, c.rank, buf, root) })
 	c.tr.End(id)
+	return err
 }
 
 // Reduce combines send across ranks into recv at root (recv may be nil
 // elsewhere).
-func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) {
+func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "reduce", int64(len(send)))
-	c.coll.Reduce(c.p, c.rank, send, recv, dt, op, root)
+	err := c.ftRun("reduce", c.p, func() { c.coll.Reduce(c.p, c.rank, send, recv, dt, op, root) })
 	c.tr.End(id)
+	return err
 }
 
 // Allreduce combines send across ranks into every rank's recv.
-func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) {
+func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "allreduce", int64(len(send)))
-	c.coll.Allreduce(c.p, c.rank, send, recv, dt, op)
+	err := c.ftRun("allreduce", c.p, func() { c.coll.Allreduce(c.p, c.rank, send, recv, dt, op) })
 	c.tr.End(id)
+	return err
 }
 
 // Gather collects every rank's send block into recv at root (recv must
 // hold Size()*len(send) bytes there; it is ignored elsewhere).
-func (c *Comm) Gather(send, recv []byte, root int) {
+func (c *Comm) Gather(send, recv []byte, root int) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "gather", int64(len(send)))
-	c.coll.Gather(c.p, c.rank, send, recv, root)
+	err := c.ftRun("gather", c.p, func() { c.coll.Gather(c.p, c.rank, send, recv, root) })
 	c.tr.End(id)
+	return err
 }
 
 // Scatter distributes root's send (Size()*len(recv) bytes) so each rank
 // receives its block in recv.
-func (c *Comm) Scatter(send, recv []byte, root int) {
+func (c *Comm) Scatter(send, recv []byte, root int) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "scatter", int64(len(recv)))
-	c.coll.Scatter(c.p, c.rank, send, recv, root)
+	err := c.ftRun("scatter", c.p, func() { c.coll.Scatter(c.p, c.rank, send, recv, root) })
 	c.tr.End(id)
+	return err
 }
 
 // Allgather concatenates every rank's send block into every rank's recv
 // (Size()*len(send) bytes), ordered by rank.
-func (c *Comm) Allgather(send, recv []byte) {
+func (c *Comm) Allgather(send, recv []byte) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "allgather", int64(len(send)))
-	c.coll.Allgather(c.p, c.rank, send, recv)
+	err := c.ftRun("allgather", c.p, func() { c.coll.Allgather(c.p, c.rank, send, recv) })
 	c.tr.End(id)
+	return err
 }
 
 // Alltoall exchanges per-rank blocks: send and recv hold Size() blocks of
 // equal size; rank j receives this rank's block j at offset Rank().
-func (c *Comm) Alltoall(send, recv []byte) {
+func (c *Comm) Alltoall(send, recv []byte) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "alltoall", int64(len(send)))
-	c.coll.Alltoall(c.p, c.rank, send, recv)
+	err := c.ftRun("alltoall", c.p, func() { c.coll.Alltoall(c.p, c.rank, send, recv) })
 	c.tr.End(id)
+	return err
 }
 
 // ReduceScatter combines every rank's send vector (Size()*len(recv)
 // bytes) elementwise and delivers reduced block i to rank i in recv.
-func (c *Comm) ReduceScatter(send, recv []byte, dt Datatype, op Op) {
+func (c *Comm) ReduceScatter(send, recv []byte, dt Datatype, op Op) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "reducescatter", int64(len(send)))
-	c.coll.ReduceScatter(c.p, c.rank, send, recv, dt, op)
+	err := c.ftRun("reducescatter", c.p, func() { c.coll.ReduceScatter(c.p, c.rank, send, recv, dt, op) })
 	c.tr.End(id)
+	return err
 }
 
 // Scan leaves in recv the reduction of the send buffers of all ranks with
 // rank <= this one (inclusive prefix reduction).
-func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) {
+func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "scan", int64(len(send)))
-	c.coll.Scan(c.p, c.rank, send, recv, dt, op)
+	err := c.ftRun("scan", c.p, func() { c.coll.Scan(c.p, c.rank, send, recv, dt, op) })
 	c.tr.End(id)
+	return err
 }
 
 // Exscan is the exclusive prefix reduction; rank 0's recv is zeroed.
-func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) {
+func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) error {
 	c.quiesce()
 	id := c.tr.Begin(c.p.Track(), trace.ClassOp, "exscan", int64(len(send)))
-	c.coll.Exscan(c.p, c.rank, send, recv, dt, op)
+	err := c.ftRun("exscan", c.p, func() { c.coll.Exscan(c.p, c.rank, send, recv, dt, op) })
 	c.tr.End(id)
+	return err
 }
+
+// The Float64 convenience wrappers have no error return; under fault
+// tolerance a member failure panics (recovered into a *RunError at the Run
+// boundary) rather than returning silently wrong data. Fault-tolerant
+// programs should use the error-returning collectives directly.
 
 // AllgatherFloat64 is a convenience wrapper concatenating float64 vectors.
 func (c *Comm) AllgatherFloat64(send []float64) []float64 {
 	sb := dtype.Float64Bytes(send)
 	rb := make([]byte, len(sb)*c.Size())
-	c.Allgather(sb, rb)
+	if err := c.Allgather(sb, rb); err != nil {
+		panic(err)
+	}
 	return dtype.Float64s(rb)
 }
 
@@ -593,7 +636,9 @@ func (c *Comm) ReduceFloat64(send []float64, op Op, root int) []float64 {
 	if c.rank == root {
 		rb = make([]byte, len(sb))
 	}
-	c.Reduce(sb, rb, Float64, op, root)
+	if err := c.Reduce(sb, rb, Float64, op, root); err != nil {
+		panic(err)
+	}
 	if c.rank != root {
 		return nil
 	}
@@ -604,7 +649,9 @@ func (c *Comm) ReduceFloat64(send []float64, op Op, root int) []float64 {
 func (c *Comm) AllreduceFloat64(send []float64, op Op) []float64 {
 	sb := dtype.Float64Bytes(send)
 	rb := make([]byte, len(sb))
-	c.Allreduce(sb, rb, Float64, op)
+	if err := c.Allreduce(sb, rb, Float64, op); err != nil {
+		panic(err)
+	}
 	return dtype.Float64s(rb)
 }
 
@@ -697,6 +744,12 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	rs := newRunState(env, m.P())
 	res := &Result{PerRank: make([]float64, m.P()), Trace: env.Trace}
 	procs := make([]*sim.Proc, m.P())
+	var ft *ftState
+	if cl.ft.Enabled {
+		ft = newFTState(env, dom.MarkDead, procs, rs, cl.ft)
+		rs.ft = ft
+		env.OnFailure = ft.onFailure
+	}
 	// Schedule fault callbacks before spawning the ranks so a window opening
 	// at t=0 is already in force when the first rank runs. The closures index
 	// procs at fire time; the slice is fully populated before the run starts.
@@ -721,17 +774,39 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	var runErr error
 	if cl.faults.Deadline > 0 {
 		runErr = env.RunUntil(cl.faults.Deadline)
-		if runErr == nil && env.Live() > 0 {
-			runErr = &StallError{Time: env.Now(), Blocked: env.Blocked()}
-		}
 	} else {
 		runErr = env.Run()
 	}
-	if runErr != nil {
-		var ce *sim.CrashError
-		if errors.As(runErr, &ce) {
-			return nil, runErrorFrom(ce.Failures[0], procs, rs.helperRank)
+	var ce *sim.CrashError
+	if errors.As(runErr, &ce) {
+		if ft == nil || len(ft.unexpected) > 0 {
+			// Without fault tolerance any crash ends the run; with it, only
+			// failures beyond the plan's injected crashes (and the helper
+			// deaths they cause) are real errors.
+			first := ce.Failures[0]
+			if ft != nil {
+				first = ft.unexpected[0]
+			}
+			return nil, runErrorFrom(first, procs, rs.helperRank)
 		}
+		// Every failure was an expected injected crash: the run's outcome is
+		// what the survivors did, decided below.
+		runErr = nil
+	}
+	if runErr == nil && env.Live() > 0 {
+		if env.Idle() {
+			// Survivors are parked and nothing left in the queue can wake
+			// them: a true deadlock (e.g. a rank stopped participating in
+			// repair), not a deadline artifact.
+			return nil, env.DeadlockReport()
+		}
+		var sum FaultSummary
+		if inj != nil {
+			sum = inj.Summary()
+		}
+		return nil, &StallError{Time: env.Now(), Blocked: env.Blocked(), Faults: sum}
+	}
+	if runErr != nil {
 		return nil, runErr
 	}
 	for _, t := range res.PerRank {
@@ -743,6 +818,10 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	res.Events = env.Events()
 	if inj != nil {
 		res.Faults = inj.Summary()
+	}
+	if ft != nil {
+		res.Failures = ft.failures
+		res.Repairs = ft.repairs
 	}
 	return res, nil
 }

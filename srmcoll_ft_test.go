@@ -1,0 +1,477 @@
+package srmcoll
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ftCluster builds a cluster with fault tolerance and the given crashes.
+func ftCluster(t testing.TB, nodes, tpn int, crashes ...Crash) *Cluster {
+	t.Helper()
+	cl := mustCluster(t, nodes, tpn)
+	cl.SetFaultPlan(FaultPlan{Crashes: crashes})
+	cl.SetFaultTolerance(DefaultFTConfig())
+	return cl
+}
+
+// chaosLoopBody is the canonical survivor protocol: run `rounds`
+// collectives (alternating bcast / allreduce); on a failure error — or
+// after the last round — shrink the communicator and agree on the prefix
+// of rounds every survivor completed, resuming from the minimum so the
+// per-communicator call streams realign. sums records each rank's final
+// allreduce result for correctness checks (may be nil).
+func chaosLoopBody(rounds, bytes int, sums []float64) func(*Comm) {
+	return chaosLoopBodyCompute(rounds, bytes, 25, sums)
+}
+
+func chaosLoopBodyCompute(rounds, bytes int, compute float64, sums []float64) func(*Comm) {
+	return func(c *Comm) {
+		comm := c
+		buf := make([]byte, bytes)
+		send := Float64Bytes(make([]float64, bytes/8))
+		for i := range send {
+			send[i] = 0 // reset below per round
+		}
+		recv := make([]byte, bytes)
+		done := 0
+		for {
+			var err error
+			if done < rounds {
+				c.Compute(compute)
+				if done%2 == 0 {
+					err = comm.Bcast(buf, comm.Members()[0])
+				} else {
+					sv := make([]float64, bytes/8)
+					for i := range sv {
+						sv[i] = float64(c.Rank() + 1)
+					}
+					copy(send, Float64Bytes(sv))
+					err = comm.Allreduce(send, recv, Float64, Sum)
+					if err == nil && sums != nil {
+						sums[c.Rank()] = Float64s(recv)[0]
+					}
+				}
+				if err == nil {
+					done++
+					continue
+				}
+				var rfe *RankFailedError
+				if !errors.As(err, &rfe) {
+					panic(fmt.Sprintf("rank %d round %d: unexpected error %v", c.Rank(), done, err))
+				}
+			}
+			nc, serr := comm.Shrink()
+			if serr != nil {
+				panic(serr)
+			}
+			var mask uint64
+			for i := 0; i < done && i < 64; i++ {
+				mask |= 1 << i
+			}
+			agreed, aerr := nc.Agree(mask)
+			if aerr != nil {
+				panic(aerr)
+			}
+			comm = nc
+			done = 0
+			for agreed&1 == 1 {
+				done++
+				agreed >>= 1
+			}
+			if done >= rounds {
+				return
+			}
+		}
+	}
+}
+
+// TestCollectiveReturnsRankFailedError: a crash mid-run turns the blocking
+// collective into a structured error on every survivor, and Shrink + a
+// collective on the survivors completes.
+func TestCollectiveReturnsRankFailedError(t *testing.T) {
+	cl := ftCluster(t, 2, 4, Crash{Rank: 3, At: 40})
+	sawError := make([]bool, 8)
+	res, err := cl.Run(SRM, func(c *Comm) {
+		for {
+			if err := c.Barrier(); err != nil {
+				var rfe *RankFailedError
+				if !errors.As(err, &rfe) {
+					t.Errorf("rank %d: Barrier error %v, want *RankFailedError", c.Rank(), err)
+					return
+				}
+				if !errors.Is(err, ErrRankFailed) {
+					t.Errorf("rank %d: error does not match ErrRankFailed", c.Rank())
+				}
+				if len(rfe.Failed) != 1 || rfe.Failed[0] != 3 {
+					t.Errorf("rank %d: Failed = %v, want [3]", c.Rank(), rfe.Failed)
+				}
+				sawError[c.Rank()] = true
+				nc, serr := c.Shrink()
+				if serr != nil {
+					t.Errorf("rank %d: Shrink: %v", c.Rank(), serr)
+					return
+				}
+				if nc.Size() != 7 {
+					t.Errorf("rank %d: shrunk size %d, want 7", c.Rank(), nc.Size())
+				}
+				if berr := nc.Barrier(); berr != nil {
+					t.Errorf("rank %d: post-shrink Barrier: %v", c.Rank(), berr)
+				}
+				return
+			}
+			c.Compute(5)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for r, saw := range sawError {
+		if r != 3 && !saw {
+			t.Errorf("rank %d never observed the failure", r)
+		}
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Rank != 3 {
+		t.Fatalf("Failures = %+v, want one record for rank 3", res.Failures)
+	}
+}
+
+// TestDetectionTiming pins the analytic declaration formula: a crash at
+// time d is declared at floor(d/period)*period + period + timeout.
+func TestDetectionTiming(t *testing.T) {
+	cl := ftCluster(t, 2, 2, Crash{Rank: 1, At: 40})
+	res, err := cl.Run(SRM, func(c *Comm) {
+		for {
+			if err := c.Barrier(); err != nil {
+				nc, _ := c.Shrink()
+				if nc != nil {
+					nc.Barrier()
+				}
+				return
+			}
+			c.Compute(5)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("Failures = %+v, want 1", res.Failures)
+	}
+	f := res.Failures[0]
+	period, timeout := 50.0, 100.0
+	want := float64(int64(f.CrashedAt/period))*period + period + timeout
+	if f.DeclaredAt != want {
+		t.Fatalf("DeclaredAt = %g for crash at %g, want %g", f.DeclaredAt, f.CrashedAt, want)
+	}
+	if f.CrashedAt < 40 {
+		t.Fatalf("CrashedAt = %g, before the injected time 40", f.CrashedAt)
+	}
+}
+
+// TestShrinkRerunAllreduce: the full recovery protocol — crash during a
+// round loop, detect, shrink, rerun — completes with the survivors'
+// allreduce combining exactly the survivors' contributions.
+func TestShrinkRerunAllreduce(t *testing.T) {
+	const rounds, bytes = 6, 64
+	cl := ftCluster(t, 2, 4, Crash{Rank: 5, At: 120})
+	sums := make([]float64, 8)
+	res, err := cl.Run(SRM, chaosLoopBody(rounds, bytes, sums))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Rank != 5 {
+		t.Fatalf("Failures = %+v, want rank 5", res.Failures)
+	}
+	if len(res.Repairs) == 0 {
+		t.Fatal("no repairs recorded")
+	}
+	// Survivors are ranks != 5; their final allreduce sums (r+1) over them.
+	want := 0.0
+	for r := 0; r < 8; r++ {
+		if r != 5 {
+			want += float64(r + 1)
+		}
+	}
+	for r := 0; r < 8; r++ {
+		if r == 5 {
+			continue
+		}
+		if sums[r] != want {
+			t.Errorf("rank %d final allreduce = %g, want %g (survivors only)", r, sums[r], want)
+		}
+		if res.PerRank[r] == 0 {
+			t.Errorf("rank %d has no completion time", r)
+		}
+	}
+	if res.PerRank[5] != 0 {
+		t.Errorf("crashed rank completion time = %g, want 0", res.PerRank[5])
+	}
+	// Every repair pairs a shrink with an agree on the shrunk comm.
+	kinds := map[string]int{}
+	for _, rep := range res.Repairs {
+		kinds[rep.Kind]++
+		if rep.CompletedAt < rep.StartedAt {
+			t.Errorf("repair %+v completes before it starts", rep)
+		}
+	}
+	if kinds["shrink"] == 0 || kinds["agree"] == 0 {
+		t.Fatalf("repair kinds = %v, want both shrink and agree", kinds)
+	}
+}
+
+// TestNonBlockingRequestCarriesFailure: a crash mid-flight surfaces through
+// Request.Wait as a *RankFailedError, and a request issued on a comm with
+// an already-declared member completes immediately with the error.
+func TestNonBlockingRequestCarriesFailure(t *testing.T) {
+	cl := ftCluster(t, 2, 2, Crash{Rank: 2, At: 30})
+	res, err := cl.Run(SRM, func(c *Comm) {
+		buf := make([]byte, 256)
+		for {
+			req := c.IBcast(buf, 0)
+			c.Compute(40)
+			if werr := req.Wait(); werr != nil {
+				var rfe *RankFailedError
+				if !errors.As(werr, &rfe) {
+					t.Errorf("rank %d: Wait error %v, want *RankFailedError", c.Rank(), werr)
+					return
+				}
+				// The comm is known broken now: a fresh request must fail
+				// fast without touching the network.
+				req2 := c.IAllreduce(make([]byte, 64), make([]byte, 64), Float64, Sum)
+				if w2 := req2.Wait(); !errors.Is(w2, ErrRankFailed) {
+					t.Errorf("rank %d: pre-failed request Wait = %v, want ErrRankFailed", c.Rank(), w2)
+				}
+				if req2.Err() == nil {
+					t.Errorf("rank %d: pre-failed request Err() = nil", c.Rank())
+				}
+				nc, serr := c.Shrink()
+				if serr != nil {
+					t.Errorf("rank %d: Shrink: %v", c.Rank(), serr)
+					return
+				}
+				nreq := nc.IBcast(buf, nc.Members()[0])
+				if w3 := nreq.Wait(); w3 != nil {
+					t.Errorf("rank %d: post-shrink IBcast Wait: %v", c.Rank(), w3)
+				}
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Rank != 2 {
+		t.Fatalf("Failures = %+v, want rank 2", res.Failures)
+	}
+}
+
+// ftFingerprint summarizes everything observable about a recovery run.
+func ftFingerprint(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time=%.17g\n", res.Time)
+	for r, t := range res.PerRank {
+		fmt.Fprintf(&b, "rank%d=%.17g\n", r, t)
+	}
+	fmt.Fprintf(&b, "stats=%s\nfaults=%s\n", res.Stats.String(), res.Faults.String())
+	for _, f := range res.Failures {
+		fmt.Fprintf(&b, "failure rank=%d crashed=%.17g declared=%.17g\n", f.Rank, f.CrashedAt, f.DeclaredAt)
+	}
+	for _, rep := range res.Repairs {
+		fmt.Fprintf(&b, "repair %s %s [%.17g, %.17g] survivors=%v\n",
+			rep.Kind, rep.Comm, rep.StartedAt, rep.CompletedAt, rep.Survivors)
+	}
+	return b.String()
+}
+
+// TestRecoveryReplaysBitIdentically: the whole crash → detect → shrink →
+// rerun timeline is a deterministic function of the plan.
+func TestRecoveryReplaysBitIdentically(t *testing.T) {
+	run := func() string {
+		cl := ftCluster(t, 2, 4, Crash{Rank: 5, At: 120}, Crash{Rank: 2, At: 400})
+		cl.SetFaultPlan(FaultPlan{
+			Seed: 77, Drop: 0.02, Reliable: true,
+			Crashes:  []Crash{{Rank: 5, At: 120}, {Rank: 2, At: 400}},
+			Deadline: 1e6,
+		})
+		res, err := cl.Run(SRM, chaosLoopBody(8, 64, nil))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return ftFingerprint(res)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("recovery timeline not deterministic:\n--- first\n%s--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "failure rank=5") || !strings.Contains(a, "failure rank=2") {
+		t.Fatalf("fingerprint missing failures:\n%s", a)
+	}
+}
+
+// TestSeededRecoveryTimelineGolden pins one seeded crash → detect → shrink
+// → re-run-allreduce timeline. The values encode the detector formula and
+// the deterministic repair schedule; a change here is a behavior change.
+func TestSeededRecoveryTimelineGolden(t *testing.T) {
+	cl := ftCluster(t, 2, 2, Crash{Rank: 1, At: 40})
+	res, err := cl.Run(SRM, chaosLoopBody(4, 64, nil))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("Failures = %+v", res.Failures)
+	}
+	// The kill is injected at t=40 but delivered at the rank's next resume
+	// (t=55.256, mid-round): the beat at 50 went out, 100 is the first
+	// missed one, declared 100 later.
+	f := res.Failures[0]
+	if f.Rank != 1 || f.CrashedAt != 55.256 || f.DeclaredAt != 200 {
+		t.Fatalf("failure = %+v, want rank 1 crashed at t=55.256 declared at t=200", f)
+	}
+	if len(res.Repairs) < 2 {
+		t.Fatalf("repairs = %+v, want at least shrink+agree", res.Repairs)
+	}
+	first := res.Repairs[0]
+	if first.Kind != "shrink" || fmt.Sprint(first.Survivors) != "[0 2 3]" {
+		t.Fatalf("first repair = %+v, want shrink over [0 2 3]", first)
+	}
+	if first.StartedAt < f.DeclaredAt {
+		t.Fatalf("repair started at %g, before declaration at %g", first.StartedAt, f.DeclaredAt)
+	}
+	// Golden run fingerprint: replay must keep producing these exact values.
+	cl2 := ftCluster(t, 2, 2, Crash{Rank: 1, At: 40})
+	res2, err := cl2.Run(SRM, chaosLoopBody(4, 64, nil))
+	if err != nil {
+		t.Fatalf("replay Run: %v", err)
+	}
+	if ftFingerprint(res) != ftFingerprint(res2) {
+		t.Fatalf("golden timeline diverged between identical runs:\n%s\nvs\n%s",
+			ftFingerprint(res), ftFingerprint(res2))
+	}
+}
+
+// TestAgreeAndsSurvivorFlags: Agree returns the AND over the survivors'
+// contributions and excludes the failed rank's (never contributed) bits.
+func TestAgreeAndsSurvivorFlags(t *testing.T) {
+	cl := ftCluster(t, 1, 4, Crash{Rank: 2, At: 25})
+	got := make([]uint64, 4)
+	_, err := cl.Run(SRM, func(c *Comm) {
+		for {
+			if err := c.Barrier(); err != nil {
+				break
+			}
+			c.Compute(10)
+		}
+		v, aerr := c.Agree(0xF0 | uint64(c.Rank()))
+		if aerr != nil {
+			t.Errorf("rank %d: Agree: %v", c.Rank(), aerr)
+			return
+		}
+		got[c.Rank()] = v
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := (0xF0 | uint64(0)) & (0xF0 | uint64(1)) & (0xF0 | uint64(3))
+	for r := 0; r < 4; r++ {
+		if r == 2 {
+			continue
+		}
+		if got[r] != want {
+			t.Errorf("rank %d: Agree = %#x, want %#x", r, got[r], want)
+		}
+	}
+}
+
+// TestFTDisabledKeepsCrashSemantics: without SetFaultTolerance a crash
+// still surfaces as a *RunError — the legacy contract is untouched.
+func TestFTDisabledKeepsCrashSemantics(t *testing.T) {
+	cl := mustCluster(t, 2, 2)
+	cl.SetFaultPlan(FaultPlan{Crashes: []Crash{{Rank: 3, At: 5}}})
+	_, err := cl.Run(SRM, func(c *Comm) {
+		c.Compute(10)
+		c.Barrier()
+	})
+	var re *RunError
+	if !errors.As(err, &re) || re.Rank != 3 {
+		t.Fatalf("Run = %v, want *RunError for rank 3", err)
+	}
+	// And Agree/Shrink without FT is a plain error, not a hang.
+	cl2 := mustCluster(t, 1, 2)
+	_, err = cl2.Run(SRM, func(c *Comm) {
+		if _, aerr := c.Agree(1); aerr == nil {
+			t.Error("Agree without fault tolerance succeeded")
+		}
+		if _, serr := c.Shrink(); serr == nil {
+			t.Error("Shrink without fault tolerance succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestDeadRankNotWaitedForever: a rank that simply stops calling
+// collectives (without crashing) still deadlocks — FT only tolerates
+// crashes the detector can see, and the report names the blocked ranks.
+func TestNonCrashDropoutStillDeadlocks(t *testing.T) {
+	cl := mustCluster(t, 1, 4)
+	cl.SetFaultTolerance(DefaultFTConfig())
+	_, err := cl.Run(SRM, func(c *Comm) {
+		if c.Rank() == 0 {
+			return // drops out silently; never crashes
+		}
+		c.Barrier()
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run = %v, want *DeadlockError", err)
+	}
+}
+
+// TestStallErrorSatellites: StallError carries the injected-fault summary
+// and unwraps to ErrDeadline for errors.Is matching.
+func TestStallErrorSatellites(t *testing.T) {
+	cl := mustCluster(t, 2, 2)
+	cl.SetFaultPlan(FaultPlan{Seed: 9, Drop: 1, Reliable: true, Deadline: 2000})
+	_, err := cl.Run(SRM, func(c *Comm) {
+		buf := make([]byte, 4096)
+		c.Bcast(buf, 0)
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("Run = %v, want *StallError", err)
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatal("StallError does not match ErrDeadline")
+	}
+	if se.Faults.PutDrops == 0 {
+		t.Fatalf("StallError.Faults = %v, want recorded drops", se.Faults)
+	}
+	if !strings.Contains(se.Error(), "faults") {
+		t.Fatalf("StallError message %q does not mention faults", se.Error())
+	}
+}
+
+// TestFTTraceClasses: detect/shrink/agree spans land in the trace.
+func TestFTTraceClasses(t *testing.T) {
+	cl := ftCluster(t, 2, 2, Crash{Rank: 1, At: 40})
+	cl.SetTracing(true)
+	res, err := cl.Run(SRM, chaosLoopBody(4, 64, nil))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Trace == nil {
+		t.Fatal("tracing enabled but Trace nil")
+	}
+	seen := map[string]bool{}
+	for _, sp := range res.Trace.Spans() {
+		seen[sp.Class.String()] = true
+	}
+	for _, cls := range []string{"detect", "shrink", "agree"} {
+		if !seen[cls] {
+			t.Errorf("trace has no %q span; classes seen: %v", cls, seen)
+		}
+	}
+}
