@@ -16,6 +16,9 @@
 //	srmbench -overlapjson F  # write the non-blocking overlap sweep to F
 //	srmbench -fig chaos      # fault-tolerance chaos campaign table
 //	srmbench -chaosjson F    # write the chaos-campaign report to F
+//	srmbench -ranks 65536    # massive-rank allreduce smoke (state-machine engine)
+//	srmbench -cpuprofile F   # write a pprof CPU profile of the run to F
+//	srmbench -memprofile F   # write a pprof heap profile at exit to F
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"srmcoll"
 	"srmcoll/internal/exp"
@@ -48,6 +53,10 @@ func main() {
 		"run the non-blocking overlap sweep and write the JSON report to this file")
 	chaosjson := flag.String("chaosjson", "",
 		"run the fault-tolerance chaos campaign and write the JSON report to this file")
+	ranks := flag.Int("ranks", 0,
+		"run one verified massive-rank allreduce on the state-machine engine at this many ranks")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	// Validate every flag before doing any work, so a typo fails fast with a
@@ -71,9 +80,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "srmbench: -j must be >= 1, got %d\n", *jobs)
 		bad = true
 	}
+	if *ranks < 0 {
+		fmt.Fprintf(os.Stderr, "srmbench: -ranks must be >= 0, got %d\n", *ranks)
+		bad = true
+	}
 	if !bad && *fig == "" && !*headline && *ablation == "" && !*extension &&
-		*benchjson == "" && *traceOut == "" && *overlapjson == "" && *chaosjson == "" {
-		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson, -chaosjson or -trace")
+		*benchjson == "" && *traceOut == "" && *overlapjson == "" && *chaosjson == "" && *ranks == 0 {
+		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson, -chaosjson, -ranks or -trace")
 		bad = true
 	}
 	if bad {
@@ -81,6 +94,57 @@ func main() {
 		os.Exit(2)
 	}
 	exp.SetWorkers(*jobs)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			}
+		}()
+	}
+
+	if *ranks > 0 {
+		// Large-rank smoke: one verified allreduce on the state-machine
+		// engine. 8 tasks per node when the count allows, flat otherwise.
+		nodes, tpn := *ranks, 1
+		if *ranks%8 == 0 {
+			nodes, tpn = *ranks/8, 8
+		}
+		cl, err := srmcoll.NewCluster(srmcoll.ColonySP(nodes, tpn))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res, err := cl.ScaleAllreduce(srmcoll.ScaleOptions{Bytes: 64, Reps: 1, Verify: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		fmt.Printf("ranks %d (%d nodes x %d tasks): sim %.1f us, %d events, wall %s, %.0f events/sec, %.0f proto bytes/rank, verified\n",
+			nodes*tpn, nodes, tpn, res.Time, res.Events, wall,
+			float64(res.Events)/wall.Seconds(), res.ProtoBytesPerRank())
+	}
 
 	if *benchjson != "" {
 		rep := exp.RunPerf()

@@ -35,10 +35,11 @@ type SweepPerf struct {
 
 // PerfReport is the full -benchjson payload.
 type PerfReport struct {
-	GOMAXPROCS     int         `json:"gomaxprocs"`
-	Basket         []PerfEntry `json:"basket"`
-	Sweep          []SweepPerf `json:"sweep"`
-	SweepIdentical bool        `json:"sweep_outputs_identical"`
+	GOMAXPROCS     int          `json:"gomaxprocs"`
+	Basket         []PerfEntry  `json:"basket"`
+	Ranks          []RanksEntry `json:"ranks"`
+	Sweep          []SweepPerf  `json:"sweep"`
+	SweepIdentical bool         `json:"sweep_outputs_identical"`
 }
 
 // perfWorkload is one fixed basket item; run executes it once and reports
@@ -178,6 +179,7 @@ func RunPerf() PerfReport {
 	for _, w := range perfBasket() {
 		rep.Basket = append(rep.Basket, measurePerf(w))
 	}
+	rep.Ranks = RunRanks()
 
 	prev := Workers()
 	defer SetWorkers(prev)

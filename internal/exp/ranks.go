@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"runtime"
+	"time"
+
+	"srmcoll"
+)
+
+// This file is the massive-rank half of the perf harness: the `ranks`
+// basket runs the state-machine allreduce core (srmcoll.ScaleAllreduce) at
+// 1k/4k/16k/64k ranks and reports events/sec and the protocol bytes/rank
+// footprint into BENCH_simperf.json, alongside the goroutine-engine basket
+// in perf.go.
+
+// RanksEntry reports one rank-count point of the scale basket. Wall time is
+// the fastest of Tries runs (the simulation is deterministic, so only host
+// noise varies); allocations are from that fastest run.
+type RanksEntry struct {
+	Ranks        int     `json:"ranks"`
+	Nodes        int     `json:"nodes"`
+	TasksPerNode int     `json:"tasks_per_node"`
+	Bytes        int     `json:"bytes"`
+	Tries        int     `json:"tries"`
+	WallNs       int64   `json:"wall_ns"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	SimUs        float64 `json:"sim_us"`
+	BytesPerRank float64 `json:"proto_bytes_per_rank"`
+	Allocs       uint64  `json:"allocs"`
+}
+
+// ranksShapes is the fixed rank-count ladder. Payloads are small (64 B) so
+// the basket measures protocol and engine overhead, not memcpy of host
+// buffers; do not retune casually — BENCH_simperf.json compares like
+// against like across commits.
+func ranksShapes() []struct{ nodes, tpn, bytes int } {
+	return []struct{ nodes, tpn, bytes int }{
+		{128, 8, 64},  // 1k ranks
+		{512, 8, 64},  // 4k ranks
+		{2048, 8, 64}, // 16k ranks
+		{8192, 8, 64}, // 64k ranks
+	}
+}
+
+const ranksTries = 3
+
+// RunRanks measures the scale basket and returns one entry per rank count.
+func RunRanks() []RanksEntry {
+	var out []RanksEntry
+	for _, sh := range ranksShapes() {
+		out = append(out, measureRanks(sh.nodes, sh.tpn, sh.bytes))
+	}
+	return out
+}
+
+func measureRanks(nodes, tpn, bytes int) RanksEntry {
+	cl, err := srmcoll.NewCluster(srmcoll.ColonySP(nodes, tpn))
+	if err != nil {
+		panic(err)
+	}
+	opt := srmcoll.ScaleOptions{Bytes: bytes, Reps: 1, Engine: srmcoll.ScaleTasks}
+	run := func() (*srmcoll.ScaleResult, time.Duration, uint64) {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res, err := cl.ScaleAllreduce(opt)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			panic(err)
+		}
+		return res, wall, m1.Mallocs - m0.Mallocs
+	}
+
+	run() // warm-up: first-GC sizing and lazy init stay out of the timing
+	e := RanksEntry{
+		Ranks: nodes * tpn, Nodes: nodes, TasksPerNode: tpn,
+		Bytes: bytes, Tries: ranksTries,
+	}
+	for i := 0; i < ranksTries; i++ {
+		res, wall, allocs := run()
+		if i == 0 || wall.Nanoseconds() < e.WallNs {
+			e.WallNs = wall.Nanoseconds()
+			e.Events = res.Events
+			e.SimUs = res.Time
+			e.BytesPerRank = res.ProtoBytesPerRank()
+			e.Allocs = allocs
+			if wall > 0 {
+				e.EventsPerSec = float64(res.Events) / wall.Seconds()
+			}
+		}
+	}
+	return e
+}

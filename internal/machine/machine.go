@@ -281,6 +281,42 @@ func (m *Machine) Memcpy(p *sim.Proc, node int, dst, src []byte) {
 	m.Stats.AddCopy(len(src))
 }
 
+// MemcpyT is Memcpy for the Task engine: the copy time is charged through
+// SleepThen and k runs once the bytes have landed. The contention snapshot,
+// daemon charge, trace spans and stats match Memcpy call for call, so both
+// engines produce identical virtual time for identical copy schedules.
+func (m *Machine) MemcpyT(t *sim.Task, node int, dst, src []byte, k func()) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("machine: MemcpyT length mismatch %d != %d", len(dst), len(src)))
+	}
+	nd := m.nodes[node]
+	d := m.CopyTime(len(src)) * m.copyFactor(nd)
+	d += m.DaemonExtra(node, d)
+	id := m.Env.Trace.Begin(t.Track(), trace.ClassShmCopy, "shm:copy", int64(len(src)))
+	nd.activeCopies++
+	t.SleepThen(d, func() {
+		nd.activeCopies--
+		m.Env.Trace.End(id)
+		copy(dst, src)
+		m.Stats.AddCopy(len(src))
+		k()
+	})
+}
+
+// ChargeCopyT is ChargeCopy for the Task engine.
+func (m *Machine) ChargeCopyT(t *sim.Task, node, n int, k func()) {
+	nd := m.nodes[node]
+	d := m.CopyTime(n) * m.copyFactor(nd)
+	d += m.DaemonExtra(node, d)
+	id := m.Env.Trace.Begin(t.Track(), trace.ClassShmCopy, "shm:copy", int64(n))
+	nd.activeCopies++
+	t.SleepThen(d, func() {
+		nd.activeCopies--
+		m.Env.Trace.End(id)
+		k()
+	})
+}
+
 // ChargeCopy charges copy time for n bytes on a node without moving data;
 // used where the data movement itself is performed by a lower layer.
 func (m *Machine) ChargeCopy(p *sim.Proc, node, n int) {

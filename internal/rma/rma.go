@@ -270,7 +270,18 @@ func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, 
 		}
 		return
 	}
+	par := -1
+	if tr := m.Env.Trace; tr != nil {
+		par = tr.Current(p.Track())
+	}
+	ep.putRemote(target, par, dst, src, origin, tgt, compl)
+}
 
+// putRemote runs the post-overhead leg of a remote put. Everything from here
+// on is event callbacks — no process or task blocks — so the one transfer
+// path serves both engines.
+func (ep *Endpoint) putRemote(target *Endpoint, par int, dst, src []byte, origin, tgt, compl *Counter) {
+	m := ep.dom.m
 	// The adapter reads the origin buffer at injection; snapshot the payload
 	// now so callers that reuse the buffer after the origin counter fires
 	// stay correct (the snapshot itself is bookkeeping, not a charged copy).
@@ -282,10 +293,6 @@ func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, 
 		copy(snap, src)
 	}
 	tr := m.Env.Trace
-	par := -1
-	if tr != nil {
-		par = tr.Current(p.Track())
-	}
 	if ep.dom.reliable || m.Faults != nil {
 		ep.dom.wirePut(ep, target, par, dst, snap, origin, tgt, compl)
 		return
@@ -322,6 +329,108 @@ func (ep *Endpoint) Put(p *sim.Proc, target *Endpoint, dst, src []byte, origin, 
 // the flow-control ack of §2.4.
 func (ep *Endpoint) PutZero(p *sim.Proc, target *Endpoint, tgt *Counter) {
 	ep.Put(p, target, nil, nil, nil, tgt, nil)
+}
+
+// Task-engine entry points. Each *T method mirrors its Proc counterpart's
+// virtual-time behavior exactly — same sleeps, same counter and dispatcher
+// bookkeeping, in the same order — so a protocol expressed once per engine
+// produces bit-identical simulated time. The transfer itself (wire, reliable
+// retransmit, delivery rules) is engine-free callback machinery shared with
+// the Proc paths.
+
+// waitGET is waitGE for the Task engine; k runs once the counter is >= v.
+func (c *Counter) waitGET(t *sim.Task, v int, k func()) {
+	if c.val >= v {
+		k()
+		return
+	}
+	id := c.env.Trace.Begin(t.Track(), c.wcl, c.wcl.String(), 0)
+	c.cond.WaitUntilOnT(t, c, v, func() bool { return c.val >= v }, func() {
+		c.env.Trace.End(id)
+		k()
+	})
+}
+
+// WaitValueT is WaitValue for the Task engine.
+func (c *Counter) WaitValueT(t *sim.Task, v int, k func()) {
+	c.waitGET(t, v, func() {
+		c.val -= v
+		k()
+	})
+}
+
+// drainPendingT services deferred deliveries from inside an RMA call, one
+// RecvOverhead sleep per delivery like drainPending, then runs k.
+func (ep *Endpoint) drainPendingT(t *sim.Task, k func()) {
+	if len(ep.pending) == 0 {
+		k()
+		return
+	}
+	fn := ep.pending[0]
+	ep.pending = ep.pending[1:]
+	t.SleepThen(ep.dom.m.Cfg.RecvOverhead, func() {
+		fn()
+		ep.drainPendingT(t, k)
+	})
+}
+
+// WaitcntrT is Waitcntr for the Task engine. The endpoint counts as inside
+// an RMA call (dispatcher polling) from the moment the wait arms until k is
+// about to run. Unlike the Proc version there is no unwind protection: a
+// task interrupted while parked here must restore the endpoint state in its
+// OnInterrupt handler. Protocol tasks live outside the chaos paths, which
+// stay on the Proc engine.
+func (ep *Endpoint) WaitcntrT(t *sim.Task, c *Counter, v int, k func()) {
+	ep.drainPendingT(t, func() {
+		ep.inCall = true
+		c.waitGET(t, v, func() {
+			c.val -= v
+			ep.inCall = false
+			k()
+		})
+	})
+}
+
+// ProbeT is Probe for the Task engine.
+func (ep *Endpoint) ProbeT(t *sim.Task, k func()) { ep.drainPendingT(t, k) }
+
+// PutT is Put for the Task engine: k runs once the origin CPU has paid the
+// send overhead (and, for a loopback put, the shared-memory copy) — the
+// point at which Put would have returned to the calling process.
+func (ep *Endpoint) PutT(t *sim.Task, target *Endpoint, dst, src []byte, origin, tgt, compl *Counter, k func()) {
+	if len(dst) != len(src) {
+		panic("rma: PutT length mismatch")
+	}
+	m := ep.dom.m
+	m.Stats.AddPut(len(src))
+	t.SleepThen(m.Cfg.SendOverhead, func() {
+		if target.Node == ep.Node {
+			m.MemcpyT(t, ep.Node, dst, src, func() {
+				if origin != nil {
+					origin.Incr(1)
+				}
+				if tgt != nil {
+					tgt.Incr(1)
+				}
+				if compl != nil {
+					compl.Incr(1)
+				}
+				k()
+			})
+			return
+		}
+		par := -1
+		if tr := m.Env.Trace; tr != nil {
+			par = tr.Current(t.Track())
+		}
+		ep.putRemote(target, par, dst, src, origin, tgt, compl)
+		k()
+	})
+}
+
+// PutZeroT is PutZero for the Task engine.
+func (ep *Endpoint) PutZeroT(t *sim.Task, target *Endpoint, tgt *Counter, k func()) {
+	ep.PutT(t, target, nil, nil, nil, tgt, nil, k)
 }
 
 // AM sends an active message: handler runs at the target on arrival (after

@@ -1,0 +1,87 @@
+package scale
+
+import (
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// rankProc is the goroutine-engine rank body — the reference semantics.
+// rankTask in task.go issues the identical primitive schedule; any change
+// here must be mirrored there or the cross-engine equivalence tests fail.
+func (r *run) rankProc(p *sim.Proc, rank int) {
+	m := r.m
+	n := r.n
+	node := m.NodeOf(rank)
+	local := m.LocalRank(rank)
+	ns := r.nodes[node]
+	ep := r.dom.Endpoint(rank)
+	reps := r.cfg.Reps
+
+	if local != 0 {
+		for rep := 1; rep <= reps; rep++ {
+			ns.contrib.CopyIn(p, local*n, r.send[rank])
+			ns.contribF.Flag(local).Set(rep)
+			ns.resultF.WaitGE(p, rep)
+			ns.resultSeg.CopyOut(p, r.recv[rank], 0)
+		}
+		r.perRank[rank] = p.Now()
+		return
+	}
+
+	// Masters drive the inter-node protocol with interrupts off (§2.3's
+	// small-message regime): arriving puts are polled while the master waits
+	// on a counter, and deferred ones drain at its next RMA call.
+	ep.SetInterrupts(false)
+	var ps *nodeState
+	var pep *rma.Endpoint
+	if ns.parent >= 0 {
+		ps = r.nodes[ns.parent]
+		pep = r.dom.Endpoint(ps.master)
+	}
+	tpn := m.Cfg.TasksPerNode
+
+	for rep := 1; rep <= reps; rep++ {
+		// Phase 1: fold local contributions into the private accumulator.
+		m.Memcpy(p, node, ns.acc, r.send[rank])
+		for i := 1; i < tpn; i++ {
+			ns.contribF.Flag(i).WaitGE(p, rep)
+			r.combine(p, ns.acc, ns.contrib.Slice(i*n, n))
+		}
+		// Phase 2: fold the children's slots, returning each credit only
+		// after its slot is consumed so the child may pipeline rep+1.
+		for ci, ch := range ns.children {
+			cs := r.nodes[ch]
+			ep.Waitcntr(p, ns.rArr[ci], 1)
+			r.combine(p, ns.acc, ns.rSlots[ci])
+			ep.PutZero(p, r.dom.Endpoint(cs.master), cs.upCredit)
+		}
+		if ns.parent >= 0 {
+			ep.Waitcntr(p, ns.upCredit, 1)
+			ep.Put(p, pep, ps.rSlots[ns.childPos], ns.acc, nil, ps.rArr[ns.childPos], nil)
+			// Phase 3 (receive side): the result lands in the broadcast
+			// buffer; publish it, then return the parent's credit.
+			ep.Waitcntr(p, ns.bArr, 1)
+			m.Memcpy(p, node, ns.resultSeg.Bytes(), ns.bBuf)
+			ep.PutZero(p, pep, ps.dCredit[ns.childPos])
+		} else {
+			m.Memcpy(p, node, ns.resultSeg.Bytes(), ns.acc)
+		}
+		// Phase 4: release the locals, then forward down the tree.
+		ns.resultF.Set(rep)
+		for ci, ch := range ns.children {
+			cs := r.nodes[ch]
+			ep.Waitcntr(p, ns.dCredit[ci], 1)
+			ep.Put(p, r.dom.Endpoint(cs.master), cs.bBuf, ns.resultSeg.Bytes(), nil, cs.bArr, nil)
+		}
+		m.Memcpy(p, node, r.recv[rank], ns.resultSeg.Bytes())
+	}
+	r.perRank[rank] = p.Now()
+}
+
+// combine charges combine time for one slot and folds it into dst.
+func (r *run) combine(p *sim.Proc, dst, src []byte) {
+	p.Sleep(r.m.CombineTime(len(src)))
+	r.m.Stats.AddReduce(len(src) / 8)
+	dtype.Reduce(dtype.Sum, dtype.Int64, dst, src)
+}

@@ -1,0 +1,127 @@
+package scale
+
+import (
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// rankTask is the state-machine-engine rank body. It is the CPS transcription
+// of rankProc: loops become recursive continuations, every blocking primitive
+// becomes its *T counterpart, and the schedule of sleeps, waits, copies, and
+// puts is identical call for call — which is what makes the two engines'
+// virtual time bit-identical.
+func (r *run) rankTask(t *sim.Task, rank int) {
+	m := r.m
+	n := r.n
+	node := m.NodeOf(rank)
+	local := m.LocalRank(rank)
+	ns := r.nodes[node]
+	ep := r.dom.Endpoint(rank)
+	reps := r.cfg.Reps
+
+	if local != 0 {
+		var rep func(k int)
+		rep = func(k int) {
+			if k > reps {
+				r.perRank[rank] = t.Now()
+				return
+			}
+			ns.contrib.CopyInT(t, local*n, r.send[rank], func() {
+				ns.contribF.Flag(local).Set(k)
+				ns.resultF.WaitGET(t, k, func() {
+					ns.resultSeg.CopyOutT(t, r.recv[rank], 0, func() { rep(k + 1) })
+				})
+			})
+		}
+		rep(1)
+		return
+	}
+
+	ep.SetInterrupts(false)
+	var ps *nodeState
+	var pep *rma.Endpoint
+	if ns.parent >= 0 {
+		ps = r.nodes[ns.parent]
+		pep = r.dom.Endpoint(ps.master)
+	}
+	tpn := m.Cfg.TasksPerNode
+
+	var rep func(k int)
+	rep = func(k int) {
+		if k > reps {
+			r.perRank[rank] = t.Now()
+			return
+		}
+		// The phase chain below mirrors rankProc's four phases; each local
+		// function is one loop or straight-line stretch of the Proc body.
+		var intra func(i int)
+		var reduceChild func(ci int)
+		var sendUpAndRecv func()
+		var publish func()
+		var down func(ci int)
+
+		intra = func(i int) {
+			if i == tpn {
+				reduceChild(0)
+				return
+			}
+			ns.contribF.Flag(i).WaitGET(t, k, func() {
+				r.combineT(t, ns.acc, ns.contrib.Slice(i*n, n), func() { intra(i + 1) })
+			})
+		}
+		reduceChild = func(ci int) {
+			if ci == len(ns.children) {
+				sendUpAndRecv()
+				return
+			}
+			cs := r.nodes[ns.children[ci]]
+			ep.WaitcntrT(t, ns.rArr[ci], 1, func() {
+				r.combineT(t, ns.acc, ns.rSlots[ci], func() {
+					ep.PutZeroT(t, r.dom.Endpoint(cs.master), cs.upCredit, func() { reduceChild(ci + 1) })
+				})
+			})
+		}
+		sendUpAndRecv = func() {
+			if ns.parent < 0 {
+				m.MemcpyT(t, node, ns.resultSeg.Bytes(), ns.acc, publish)
+				return
+			}
+			ep.WaitcntrT(t, ns.upCredit, 1, func() {
+				ep.PutT(t, pep, ps.rSlots[ns.childPos], ns.acc, nil, ps.rArr[ns.childPos], nil, func() {
+					ep.WaitcntrT(t, ns.bArr, 1, func() {
+						m.MemcpyT(t, node, ns.resultSeg.Bytes(), ns.bBuf, func() {
+							ep.PutZeroT(t, pep, ps.dCredit[ns.childPos], publish)
+						})
+					})
+				})
+			})
+		}
+		publish = func() {
+			ns.resultF.Set(k)
+			down(0)
+		}
+		down = func(ci int) {
+			if ci == len(ns.children) {
+				m.MemcpyT(t, node, r.recv[rank], ns.resultSeg.Bytes(), func() { rep(k + 1) })
+				return
+			}
+			cs := r.nodes[ns.children[ci]]
+			ep.WaitcntrT(t, ns.dCredit[ci], 1, func() {
+				ep.PutT(t, r.dom.Endpoint(cs.master), cs.bBuf, ns.resultSeg.Bytes(), nil, cs.bArr, nil, func() { down(ci + 1) })
+			})
+		}
+
+		m.MemcpyT(t, node, ns.acc, r.send[rank], func() { intra(1) })
+	}
+	rep(1)
+}
+
+// combineT is combine for the Task engine: same sleep, same stats, same fold.
+func (r *run) combineT(t *sim.Task, dst, src []byte, k func()) {
+	t.SleepThen(r.m.CombineTime(len(src)), func() {
+		r.m.Stats.AddReduce(len(src) / 8)
+		dtype.Reduce(dtype.Sum, dtype.Int64, dst, src)
+		k()
+	})
+}

@@ -73,6 +73,39 @@ func (f *Flag) WaitGE(p *sim.Proc, v int) {
 	}
 }
 
+// WaitGET is WaitGE for the Task engine: the task spins (entering the
+// node's spinner set exactly like a Proc) until the flag value is >= v,
+// then resumes with k. A flag already at the value runs k within the
+// current step — no virtual time passes, matching the Proc fast path.
+func (f *Flag) WaitGET(t *sim.Task, v int, k func()) {
+	if f.val >= v {
+		k()
+		return
+	}
+	id := f.m.Env.Trace.Begin(t.Track(), trace.ClassWaitFlag, "wait:flag", 0)
+	f.m.SpinEnter(f.node)
+	f.cond.WaitUntilOnT(t, f, v, func() bool { return f.val >= v }, func() {
+		f.m.SpinExit(f.node)
+		f.m.Env.Trace.End(id)
+		k()
+	})
+}
+
+// WaitForT is WaitFor for the Task engine.
+func (f *Flag) WaitForT(t *sim.Task, v int, k func()) {
+	if f.val == v {
+		k()
+		return
+	}
+	id := f.m.Env.Trace.Begin(t.Track(), trace.ClassWaitFlag, "wait:flag", 0)
+	f.m.SpinEnter(f.node)
+	f.cond.WaitUntilOnT(t, f, v, func() bool { return f.val == v }, func() {
+		f.m.SpinExit(f.node)
+		f.m.Env.Trace.End(id)
+		k()
+	})
+}
+
 // WaitFor spins until the flag equals v.
 func (f *Flag) WaitFor(p *sim.Proc, v int) {
 	if f.val == v {
@@ -180,4 +213,14 @@ func (s *Segment) CopyIn(p *sim.Proc, off int, src []byte) {
 // CopyOut copies the segment range starting at off into dst.
 func (s *Segment) CopyOut(p *sim.Proc, dst []byte, off int) {
 	s.m.Memcpy(p, s.node, dst, s.Slice(off, len(dst)))
+}
+
+// CopyInT is CopyIn for the Task engine.
+func (s *Segment) CopyInT(t *sim.Task, off int, src []byte, k func()) {
+	s.m.MemcpyT(t, s.node, s.Slice(off, len(src)), src, k)
+}
+
+// CopyOutT is CopyOut for the Task engine.
+func (s *Segment) CopyOutT(t *sim.Task, dst []byte, off int, k func()) {
+	s.m.MemcpyT(t, s.node, dst, s.Slice(off, len(dst)), k)
 }

@@ -1,0 +1,238 @@
+package sim
+
+// Calendar-queue ready list. The scheduler's former binary heap paid
+// O(log n) pointer-chasing per operation with n equal to every outstanding
+// event in the run — at tens of thousands of ranks the heap is the hot
+// path. A calendar queue (bucketed time wheel) exploits what collective
+// protocols actually schedule: almost every event lands within a few
+// microseconds of the current virtual time, so hashing events into
+// fixed-width time buckets makes push and pop O(1) amortized.
+//
+// Layout: nbuckets power-of-two buckets each covering `width` microseconds
+// of virtual time; an event at time t belongs to virtual day floor(t/width)
+// and lands in bucket day&mask. One "year" is nbuckets*width; events due
+// beyond one year from the current day (fault-plan deadlines, heartbeat
+// suspicion timers) overflow into a small binary heap and migrate into the
+// calendar as the clock approaches them.
+//
+// Determinism: pop order is exactly (time, then insertion sequence number)
+// — the same total order the binary heap produced — so replacing the heap
+// cannot perturb virtual time by even a bit. Within a bucket items are kept
+// in a small (t, seq)-ordered binary heap: protocol rounds synchronize
+// thousands of ranks onto identical timestamps, and a heap keeps the
+// equal-time pile O(log b) instead of O(b) per operation.
+type calQueue struct {
+	buckets  [][]*item
+	mask     int   // len(buckets) - 1; len is a power of two
+	width    Time  // virtual time covered by one bucket
+	curDay   int64 // day of the most recently popped item
+	n        int   // items in the buckets (excluding overflow)
+	overflow []*item
+}
+
+const (
+	// calInitBuckets and calWidth are sized for the repository's cost
+	// model: sub-microsecond copy/flag latencies with events clustering
+	// within ~25 us of now. One year = 1024 * 4 us ≈ 4 ms of virtual time,
+	// far beyond any latency parameter; only watchdog-scale timers
+	// (deadlines, suspicion timeouts) overflow.
+	calInitBuckets = 1024
+	calWidth       = Time(4.0)
+	// calGrowFactor triggers a resize when the calendar holds more than
+	// this many items per bucket on average, keeping bucket heaps shallow.
+	calGrowFactor = 8
+)
+
+func newCalQueue() *calQueue {
+	return &calQueue{
+		buckets: make([][]*item, calInitBuckets),
+		mask:    calInitBuckets - 1,
+		width:   calWidth,
+	}
+}
+
+// day maps a timestamp to its virtual day. Item times are never negative
+// (Env clamps to now), so the truncation is a plain floor.
+func (q *calQueue) day(t Time) int64 { return int64(t / q.width) }
+
+// Len returns the total number of queued items.
+func (q *calQueue) Len() int { return q.n + len(q.overflow) }
+
+// push inserts an item, routing far-future items to the overflow heap.
+func (q *calQueue) push(it *item) {
+	d := q.day(it.t)
+	if d-q.curDay >= int64(len(q.buckets)) {
+		heapPush(&q.overflow, it)
+		return
+	}
+	if q.n > calGrowFactor*len(q.buckets) {
+		q.grow()
+	}
+	b := &q.buckets[int(d)&q.mask]
+	*b = append(*b, it)
+	siftUp(*b, len(*b)-1)
+	q.n++
+}
+
+// grow doubles the bucket count, redistributing every calendar item. The
+// widened year also reclaims overflow items that now fit. Resizing is pure
+// bookkeeping: the (t, seq) pop order is unaffected.
+func (q *calQueue) grow() {
+	old := q.buckets
+	q.buckets = make([][]*item, 2*len(old))
+	q.mask = len(q.buckets) - 1
+	q.n = 0
+	for _, b := range old {
+		for _, it := range b {
+			d := q.day(it.t)
+			nb := &q.buckets[int(d)&q.mask]
+			*nb = append(*nb, it)
+			siftUp(*nb, len(*nb)-1)
+			q.n++
+		}
+	}
+	q.migrate()
+}
+
+// migrate moves overflow items that now fall within the calendar year back
+// into buckets. Called whenever curDay advances or the year widens.
+func (q *calQueue) migrate() {
+	for len(q.overflow) > 0 && q.day(q.overflow[0].t)-q.curDay < int64(len(q.buckets)) {
+		it := heapPop(&q.overflow)
+		b := &q.buckets[int(q.day(it.t))&q.mask]
+		*b = append(*b, it)
+		siftUp(*b, len(*b)-1)
+		q.n++
+	}
+}
+
+// scan locates the bucket holding the earliest item and returns its index.
+// Bucket items always lie within one year of curDay, so their days occupy
+// distinct residues: walking days forward from curDay, the first non-empty
+// bucket is the one holding the minimum (t, seq). When commit is true the
+// walk advances curDay to the found day (reclaiming due overflow items);
+// pop commits, peek must not — a peeked far-future item would otherwise
+// drag the push window ahead of the virtual clock and break the
+// day-residue invariant for later pushes at earlier times. Returns -1 when
+// the calendar itself is empty.
+func (q *calQueue) scan(commit bool) int {
+	if q.n == 0 {
+		if len(q.overflow) == 0 || !commit {
+			return -1
+		}
+		// Jump the clock to the overflow horizon and pull a year's worth in.
+		q.curDay = q.day(q.overflow[0].t)
+		q.migrate()
+	}
+	for d := q.curDay; ; d++ {
+		if b := q.buckets[int(d)&q.mask]; len(b) > 0 {
+			if commit && q.curDay != d {
+				q.curDay = d
+				q.migrate() // the year window moved; reclaim due overflow
+			}
+			return int(d) & q.mask
+		}
+		if d-q.curDay > int64(len(q.buckets)) {
+			panic("sim: calendar queue scan found no item despite n > 0")
+		}
+	}
+}
+
+// peek returns the earliest item without removing it, or nil when empty.
+// Peeking never mutates queue state.
+func (q *calQueue) peek() *item {
+	i := q.scan(false)
+	if i < 0 {
+		// Calendar empty: the overflow head, if any, is the global minimum.
+		if len(q.overflow) > 0 {
+			return q.overflow[0]
+		}
+		return nil
+	}
+	return q.buckets[i][0]
+}
+
+// pop removes and returns the earliest item, or nil when empty.
+func (q *calQueue) pop() *item {
+	i := q.scan(true)
+	if i < 0 {
+		return nil
+	}
+	it := heapPop(&q.buckets[i])
+	q.n--
+	return it
+}
+
+// forEach visits every queued item (calendar and overflow) in unspecified
+// order until fn returns false. Used by liveness checks, never on hot paths.
+func (q *calQueue) forEach(fn func(*item) bool) {
+	for _, b := range q.buckets {
+		for _, it := range b {
+			if !fn(it) {
+				return
+			}
+		}
+	}
+	for _, it := range q.overflow {
+		if !fn(it) {
+			return
+		}
+	}
+}
+
+// Hand-rolled (t, seq) min-heap primitives shared by the bucket heaps and
+// the overflow store. They operate on bare []*item slices: unlike
+// container/heap there is no interface dispatch on the hot path.
+
+func itemLess(a, b *item) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func siftUp(h []*item, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !itemLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []*item, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && itemLess(h[r], h[l]) {
+			min = r
+		}
+		if !itemLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+func heapPush(h *[]*item, it *item) {
+	*h = append(*h, it)
+	siftUp(*h, len(*h)-1)
+}
+
+func heapPop(h *[]*item) *item {
+	old := *h
+	n := len(old)
+	it := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil // drop the pointer so long sweeps do not retain dead items
+	*h = old[:n-1]
+	siftDown(*h, 0)
+	return it
+}

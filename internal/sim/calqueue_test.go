@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The calendar queue replaced the scheduler's binary heap; its one obligation
+// is to reproduce the heap's (t, seq) pop order exactly, because virtual time
+// determinism hangs on that total order. These tests drive the queue against
+// a reference heap over randomized schedules shaped like real runs: heavy
+// equal-timestamp clustering (synchronized protocol rounds), short forward
+// offsets (latency-scale wakeups), and rare far-future deadlines (fault
+// plans, heartbeat suspicion timers) that must take the overflow path.
+
+func TestCalQueueMatchesHeapOrder(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := newCalQueue()
+		var ref []*item
+		var seq uint64
+		now := Time(0)
+		sawOverflow := false
+		for i := 0; i < 40000; i++ {
+			if q.Len() == 0 || rng.Intn(3) != 0 {
+				for j, k := 0, 1+rng.Intn(4); j < k; j++ {
+					var at Time
+					switch rng.Intn(10) {
+					case 0: // deadline/heartbeat scale: far beyond one year
+						at = now + Time(5000+rng.Intn(40000))
+					case 1, 2, 3: // a protocol round: identical timestamps
+						at = now
+					default: // latency-scale wakeup
+						at = now + Time(rng.Float64()*25)
+					}
+					it := &item{t: at, seq: seq}
+					seq++
+					q.push(it)
+					heapPush(&ref, it)
+				}
+				if len(q.overflow) > 0 {
+					sawOverflow = true
+				}
+			} else {
+				got, want := q.pop(), heapPop(&ref)
+				if got != want {
+					t.Fatalf("seed %d: pop = (t=%v seq=%d), heap order wants (t=%v seq=%d)",
+						seed, got.t, got.seq, want.t, want.seq)
+				}
+				// The scheduler never schedules into the past; keep the
+				// generated times honoring that contract.
+				now = got.t
+			}
+			if q.Len() != len(ref) {
+				t.Fatalf("seed %d: Len() = %d, reference holds %d", seed, q.Len(), len(ref))
+			}
+		}
+		if len(q.buckets) == calInitBuckets {
+			t.Fatalf("seed %d: queue never grew; the resize path went untested", seed)
+		}
+		if !sawOverflow {
+			t.Fatalf("seed %d: no item ever overflowed; widen the far-future band", seed)
+		}
+		for q.Len() > 0 {
+			got, want := q.pop(), heapPop(&ref)
+			if got != want {
+				t.Fatalf("seed %d: drain pop = (t=%v seq=%d), want (t=%v seq=%d)",
+					seed, got.t, got.seq, want.t, want.seq)
+			}
+		}
+		if len(ref) != 0 {
+			t.Fatalf("seed %d: queue drained but reference holds %d items", seed, len(ref))
+		}
+		if q.pop() != nil || q.peek() != nil {
+			t.Fatalf("seed %d: empty queue returned an item", seed)
+		}
+	}
+}
+
+func TestCalQueueOverflowRollover(t *testing.T) {
+	// Every deadline here lies beyond one calendar year (calInitBuckets *
+	// calWidth of virtual time), as heartbeat timers do, so all of them take
+	// the overflow heap; popping must jump the calendar clock forward and
+	// still honor (t, seq) order, including the equal-time tie.
+	q := newCalQueue()
+	times := []Time{100000, 4100, 999999.5, 4100, 50000}
+	items := make([]*item, len(times))
+	for i, at := range times {
+		items[i] = &item{t: at, seq: uint64(i)}
+		q.push(items[i])
+	}
+	if q.n != 0 || len(q.overflow) != len(times) {
+		t.Fatalf("calendar holds %d items, overflow %d; want all %d in overflow",
+			q.n, len(q.overflow), len(times))
+	}
+	for _, want := range []*item{items[1], items[3]} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop = (t=%v seq=%d), want (t=%v seq=%d)", got.t, got.seq, want.t, want.seq)
+		}
+	}
+	// After the clock rolled to the 4100 neighborhood, a near-time push must
+	// land in the calendar and pop ahead of the remaining far deadlines.
+	near := &item{t: 4200, seq: 99}
+	q.push(near)
+	if q.n != 1 {
+		t.Fatalf("near-time push landed in overflow; calendar holds %d", q.n)
+	}
+	for _, want := range []*item{near, items[4], items[0], items[2]} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop = (t=%v seq=%d), want (t=%v seq=%d)", got.t, got.seq, want.t, want.seq)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after draining", q.Len())
+	}
+}
+
+func TestCalQueuePeekDoesNotAdvanceClock(t *testing.T) {
+	// RunUntil peeks at the queue head to compare against its time limit. A
+	// peek that committed the calendar clock to a far-future head would let a
+	// later, earlier-time push land behind the clock and pop out of order.
+	q := newCalQueue()
+
+	// Head in a later bucket of the current year.
+	mid := &item{t: 100, seq: 0}
+	q.push(mid)
+	if got := q.peek(); got != mid {
+		t.Fatalf("peek = %v, want the mid-year item", got)
+	}
+	early := &item{t: 2, seq: 1}
+	q.push(early)
+	if got := q.pop(); got != early {
+		t.Fatalf("pop after peek = (t=%v seq=%d), want the earlier item", got.t, got.seq)
+	}
+	if got := q.pop(); got != mid {
+		t.Fatalf("second pop = (t=%v seq=%d), want the mid-year item", got.t, got.seq)
+	}
+
+	// Head beyond the year entirely: peek must fall through to the overflow
+	// heap without migrating it in.
+	far := &item{t: 50000, seq: 2}
+	q.push(far)
+	if got := q.peek(); got != far {
+		t.Fatalf("peek = %v, want the overflowed item", got)
+	}
+	if q.n != 0 {
+		t.Fatal("peek migrated the overflow item into the calendar")
+	}
+	early2 := &item{t: 3, seq: 3}
+	q.push(early2)
+	if got := q.peek(); got != early2 {
+		t.Fatalf("peek = (t=%v seq=%d), want the near item", got.t, got.seq)
+	}
+	if got := q.pop(); got != early2 {
+		t.Fatalf("pop = (t=%v seq=%d), want the near item", got.t, got.seq)
+	}
+	if got := q.pop(); got != far {
+		t.Fatalf("final pop = (t=%v seq=%d), want the far item", got.t, got.seq)
+	}
+}

@@ -152,11 +152,12 @@ func TestInterruptSleepingProcessDeliversAtWake(t *testing.T) {
 	var victim *Proc
 	e.At(0, func() {
 		// Grab the proc handle: it is the only live proc.
-		for _, it := range e.queue {
+		e.queue.forEach(func(it *item) bool {
 			if it.p != nil {
 				victim = it.p
 			}
-		}
+			return true
+		})
 	})
 	e.At(10, func() { e.Interrupt(victim, "late") })
 	if err := e.Run(); err != nil {
@@ -164,6 +165,133 @@ func TestInterruptSleepingProcessDeliversAtWake(t *testing.T) {
 	}
 	if at != 100 {
 		t.Errorf("interrupt delivered at t=%v, want 100 (end of sleep)", at)
+	}
+}
+
+func TestInterruptParkedTask(t *testing.T) {
+	// The Task-engine mirror of TestInterruptParkedProcess: an interrupted
+	// state machine is removed from its waiter list and its handler runs at
+	// the interrupt time, not at a later broadcast.
+	e := NewEnv()
+	c := e.NewCond()
+	var got any
+	var at Time
+	e.SpawnTask("t", -1, func(tk *Task) {
+		tk.OnInterrupt = func(payload any) {
+			got = payload
+			at = tk.Now()
+		}
+		c.WaitT(tk, func() { t.Error("wait continuation ran despite interrupt") })
+	})
+	e.At(7, func() {
+		tk := findTask(e, "t")
+		e.InterruptTask(tk, nil) // nil payload is a no-op
+		e.InterruptTask(tk, "revoked")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "revoked" {
+		t.Errorf("handler got %v, want \"revoked\"", got)
+	}
+	if at != 7 {
+		t.Errorf("interrupt delivered at t=%v, want 7", at)
+	}
+	if len(c.twaiters) != 0 {
+		t.Errorf("cond still holds %d task waiters after interrupt", len(c.twaiters))
+	}
+}
+
+func TestInterruptDropsTaskWaiterSoBroadcastIsClean(t *testing.T) {
+	// The Task-engine mirror of TestInterruptDropsWaiterSoTriggerIsClean: the
+	// handler survives and parks somewhere else; a stale waiter entry on ev
+	// would wake it spuriously when ev triggers.
+	e := NewEnv()
+	ev := e.NewEvent()
+	other := e.NewEvent()
+	var order []string
+	e.SpawnTask("a", -1, func(tk *Task) {
+		tk.OnInterrupt = func(payload any) {
+			order = append(order, "a:interrupted")
+			other.WaitT(tk, func() { order = append(order, "a:other") })
+		}
+		ev.WaitT(tk, func() { order = append(order, "a:ev") })
+	})
+	e.SpawnTask("b", -1, func(tk *Task) {
+		ev.WaitT(tk, func() { order = append(order, "b:ev") })
+	})
+	e.At(1, func() { e.InterruptTask(findTask(e, "a"), "intr") })
+	e.At(2, ev.Trigger)
+	e.At(3, other.Trigger)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "[a:interrupted b:ev a:other]"
+	if fmt.Sprint(order) != want {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	if len(ev.twaiters) != 0 {
+		t.Errorf("ev still holds %d task waiters", len(ev.twaiters))
+	}
+}
+
+func TestInterruptSleepingTaskDeliversAtWake(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	var tk *Task
+	tk = e.SpawnTask("t", -1, func(tk *Task) {
+		tk.OnInterrupt = func(payload any) { at = tk.Now() }
+		tk.SleepThen(100, func() { t.Error("sleep continuation ran despite interrupt") })
+	})
+	e.At(10, func() { e.InterruptTask(tk, "late") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Errorf("interrupt delivered at t=%v, want 100 (end of sleep)", at)
+	}
+}
+
+func TestInterruptTaskWithoutHandlerDies(t *testing.T) {
+	e := NewEnv()
+	c := e.NewCond()
+	e.SpawnTask("t", -1, func(tk *Task) {
+		c.WaitT(tk, func() {})
+	})
+	e.At(1, func() { e.InterruptTask(findTask(e, "t"), "unhandled") })
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if len(ce.Failures) != 1 || fmt.Sprint(ce.Failures[0].Cause) != "unhandled" {
+		t.Fatalf("failures = %+v, want one with cause \"unhandled\"", ce.Failures)
+	}
+	if len(c.twaiters) != 0 {
+		t.Errorf("cond still holds %d task waiters", len(c.twaiters))
+	}
+}
+
+func TestKillTaskBeatsInterrupt(t *testing.T) {
+	e := NewEnv()
+	c := e.NewCond()
+	sawInterrupt := false
+	e.SpawnTask("t", -1, func(tk *Task) {
+		tk.OnInterrupt = func(payload any) { sawInterrupt = true }
+		c.WaitT(tk, func() {})
+	})
+	e.At(1, func() {
+		tk := findTask(e, "t")
+		e.KillTask(tk, "dead")
+		e.InterruptTask(tk, "intr") // no-op on a killed task
+	})
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if sawInterrupt {
+		t.Error("task saw interrupt instead of crash")
 	}
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"strings"
 	"testing"
 )
@@ -49,15 +48,15 @@ func TestItemFreeListRecycles(t *testing.T) {
 }
 
 func TestHeapPopClearsSlot(t *testing.T) {
-	// eventHeap.Pop must nil the vacated tail slot so executed items are
+	// heapPop must nil the vacated tail slot so executed items are
 	// collectable (or reusable) instead of pinned by the backing array.
-	h := &eventHeap{}
+	var h []*item
 	for i := 0; i < 4; i++ {
-		heap.Push(h, &item{t: Time(i)})
+		heapPush(&h, &item{t: Time(i)})
 	}
-	arr := *h // backing array alias before pops shrink the slice
+	arr := h // backing array alias before pops shrink the slice
 	for i := 0; i < 4; i++ {
-		heap.Pop(h)
+		heapPop(&h)
 	}
 	for i, it := range arr[:cap(arr)][:4] {
 		if it != nil {

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strconv"
@@ -31,10 +30,11 @@ type Env struct {
 	Trace *trace.Trace
 
 	now       Time
-	queue     eventHeap
+	queue     *calQueue
 	seq       uint64
-	live      int            // spawned processes that have not finished
+	live      int            // spawned processes and tasks that have not finished
 	parked    map[*Proc]bool // processes blocked with no scheduled wake-up
+	tparked   map[*Task]bool // tasks blocked with no scheduled wake-up
 	yield     chan struct{}  // running process -> scheduler handoff
 	cur       *Proc
 	stopped   bool
@@ -49,12 +49,18 @@ type Env struct {
 	// deaths and schedule detection. The hook must not block or park; it
 	// may schedule callbacks via At/After and inspect simulation state.
 	OnFailure func(p *Proc, f ProcFailure)
+
+	// OnTaskFailure is the Task-engine counterpart of OnFailure, called when
+	// a task step panics, is killed, or takes an unhandled interrupt.
+	OnTaskFailure func(t *Task, f ProcFailure)
 }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
 	return &Env{
-		parked: make(map[*Proc]bool),
+		queue:   newCalQueue(),
+		parked:  make(map[*Proc]bool),
+		tparked: make(map[*Task]bool),
 		// Buffered so the handoff sends never block: the sender continues to
 		// its own receive (or exit) without a cross-goroutine rendezvous,
 		// halving scheduler wake-ups per process switch. Alternation is
@@ -71,33 +77,21 @@ func (e *Env) Now() Time { return e.now }
 // executed so far. Perf harnesses use it to derive events/sec.
 func (e *Env) Events() uint64 { return e.processed }
 
-// item is one scheduled occurrence: either a callback or a process wake-up.
+// item is one scheduled occurrence: a callback, a process wake-up, or a
+// task resume.
 type item struct {
 	t   Time
 	seq uint64
 	fn  func()
 	p   *Proc
+	tk  *Task
 }
 
+// eventHeap is a (t, seq)-ordered binary min-heap of items, manipulated
+// through the shared heapPush/heapPop primitives in calqueue.go. The
+// calendar queue uses it as the far-future overflow store; the calendar
+// property tests use it as the reference ordering.
 type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
-func (h *eventHeap) Pop() (v any) {
-	old := *h
-	n := len(old)
-	v = old[n-1]
-	old[n-1] = nil // drop the pointer so long sweeps do not retain dead items
-	*h = old[:n-1]
-	return
-}
 
 // pushItem schedules one occurrence, reusing a recycled item if available.
 func (e *Env) pushItem(t Time, fn func(), p *Proc) {
@@ -111,13 +105,30 @@ func (e *Env) pushItem(t Time, fn func(), p *Proc) {
 	}
 	it.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, it)
+	e.queue.push(it)
+}
+
+// pushTask schedules a task resume, reusing a recycled item if available.
+func (e *Env) pushTask(t Time, tk *Task) {
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free = e.free[:n-1]
+		it.t = t
+	} else {
+		it = &item{t: t}
+	}
+	it.tk = tk
+	it.seq = e.seq
+	e.seq++
+	e.queue.push(it)
 }
 
 // recycle returns an executed item to the free list.
 func (e *Env) recycle(it *item) {
 	it.fn = nil
 	it.p = nil
+	it.tk = nil
 	e.free = append(e.free, it)
 }
 
@@ -432,11 +443,12 @@ type BlockedProc struct {
 	Waiting  string // human-readable wait context
 }
 
-// Blocked returns a snapshot of every parked process, sorted by name. It
-// is valid at any point the scheduler is in control (between events, after
-// Run or RunUntil return) and backs stall and deadlock reports.
+// Blocked returns a snapshot of every parked process and task, sorted by
+// name. It is valid at any point the scheduler is in control (between
+// events, after Run or RunUntil return) and backs stall and deadlock
+// reports.
 func (e *Env) Blocked() []BlockedProc {
-	out := make([]BlockedProc, 0, len(e.parked))
+	out := make([]BlockedProc, 0, len(e.parked)+len(e.tparked))
 	for p := range e.parked {
 		b := BlockedProc{Name: p.Name(), Since: p.waitSince}
 		if p.waitOn != nil {
@@ -448,6 +460,18 @@ func (e *Env) Blocked() []BlockedProc {
 		case p.waitObj != nil:
 			b.Waiting = p.waitObj.DescribeWait(p.waitWant)
 		default:
+			b.Waiting = b.Resource
+		}
+		out = append(out, b)
+	}
+	for t := range e.tparked {
+		b := BlockedProc{Name: t.Name(), Since: t.waitSince}
+		if t.waitOn != nil {
+			b.Resource = t.waitOn.waitID()
+		}
+		if t.waitObj != nil {
+			b.Waiting = t.waitObj.DescribeWait(t.waitWant)
+		} else {
 			b.Waiting = b.Resource
 		}
 		out = append(out, b)
@@ -466,11 +490,12 @@ func (e *Env) nextResNum() int {
 // Event is a one-shot occurrence processes can wait on. After Trigger,
 // waiting is a no-op. The zero value is not usable; use Env.NewEvent.
 type Event struct {
-	env     *Env
-	num     int    // sequence for the default id
-	id      string // label from Named, or cached formatted id
-	done    bool
-	waiters []*Proc
+	env      *Env
+	num      int    // sequence for the default id
+	id       string // label from Named, or cached formatted id
+	done     bool
+	waiters  []*Proc
+	twaiters []*Task
 }
 
 // NewEvent returns an untriggered event.
@@ -498,6 +523,15 @@ func (ev *Event) dropWaiter(p *Proc) {
 	}
 }
 
+func (ev *Event) dropTaskWaiter(t *Task) {
+	for i, w := range ev.twaiters {
+		if w == t {
+			ev.twaiters = append(ev.twaiters[:i], ev.twaiters[i+1:]...)
+			return
+		}
+	}
+}
+
 // Done reports whether the event has been triggered.
 func (ev *Event) Done() bool { return ev.done }
 
@@ -512,6 +546,10 @@ func (ev *Event) Trigger() {
 		ev.env.unblock(p)
 	}
 	ev.waiters = nil
+	for _, t := range ev.twaiters {
+		ev.env.unblockTask(t)
+	}
+	ev.twaiters = nil
 }
 
 // TriggerAfter schedules the event to fire d from now.
@@ -536,10 +574,11 @@ func (p *Proc) WaitAll(evs ...*Event) {
 // Cond is a broadcast-style condition: Wait blocks until the next Broadcast.
 // Unlike Event it can be signalled repeatedly.
 type Cond struct {
-	env     *Env
-	num     int    // sequence for the default id
-	id      string // label from Named, or cached formatted id
-	waiters []*Proc
+	env      *Env
+	num      int    // sequence for the default id
+	id       string // label from Named, or cached formatted id
+	waiters  []*Proc
+	twaiters []*Task
 }
 
 // NewCond returns a condition bound to the environment.
@@ -567,6 +606,15 @@ func (c *Cond) dropWaiter(p *Proc) {
 	}
 }
 
+func (c *Cond) dropTaskWaiter(t *Task) {
+	for i, w := range c.twaiters {
+		if w == t {
+			c.twaiters = append(c.twaiters[:i], c.twaiters[i+1:]...)
+			return
+		}
+	}
+}
+
 // Wait blocks the process until the next Broadcast.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
@@ -589,12 +637,21 @@ func (c *Cond) WaitOn(p *Proc, obj WaitDescriber, want int) {
 	p.parkOn(c, obj, want, nil)
 }
 
-// Broadcast wakes every currently waiting process at the current time.
+// Broadcast wakes every currently waiting process and task at the current
+// time. Process waiters wake before task waiters; within each engine the
+// wake order is the wait order. (The two engines never share a condition in
+// practice — protocol objects are waited on from one engine per run.)
 func (c *Cond) Broadcast() {
 	for _, p := range c.waiters {
 		c.env.unblock(p)
 	}
 	c.waiters = c.waiters[:0]
+	// Waking a task only schedules its resume item — no task code runs
+	// inside this loop — so draining in place is safe, as for Procs.
+	for _, t := range c.twaiters {
+		c.env.unblockTask(t)
+	}
+	c.twaiters = c.twaiters[:0]
 }
 
 // WaitUntil blocks the process until pred() holds, re-checking after every
@@ -663,7 +720,7 @@ func (e *Env) Run() error { return e.RunUntil(-1) }
 // takes precedence over deadlock reporting (the crash is the root cause).
 func (e *Env) RunUntil(limit Time) error {
 	for e.queue.Len() > 0 {
-		it := e.queue[0]
+		it := e.queue.peek()
 		if limit >= 0 && it.t > limit {
 			if len(e.failures) > 0 {
 				return &CrashError{Failures: e.Failures()}
@@ -673,15 +730,19 @@ func (e *Env) RunUntil(limit Time) error {
 			}
 			return nil
 		}
-		heap.Pop(&e.queue)
+		e.queue.pop()
 		e.now = it.t
 		e.processed++
 		// Recycle before executing so callbacks can reuse the slot; the
 		// fields are copied out first.
-		fn, p := it.fn, it.p
+		fn, p, tk := it.fn, it.p, it.tk
 		e.recycle(it)
 		if fn != nil {
 			fn()
+			continue
+		}
+		if tk != nil {
+			e.runTask(tk)
 			continue
 		}
 		e.wake(p)
@@ -714,10 +775,13 @@ func (e *Env) Idle() bool { return !e.anyPotentialProgress() }
 // simulation state: a callback (opaque, assumed potent) or a wake-up of a
 // process that has not finished.
 func (e *Env) anyPotentialProgress() bool {
-	for _, it := range e.queue {
-		if it.fn != nil || (it.p != nil && !it.p.done) {
-			return true
+	potent := false
+	e.queue.forEach(func(it *item) bool {
+		if it.fn != nil || (it.p != nil && !it.p.done) || (it.tk != nil && !it.tk.done) {
+			potent = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return potent
 }

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Engine behavior of the Task state machines: stepping, suspension,
+// completion inference, failure recovery, and parity with Proc semantics.
+
+func TestTaskSleepChainAdvancesTime(t *testing.T) {
+	e := NewEnv()
+	var times []Time
+	e.SpawnTask("t", -1, func(tk *Task) {
+		times = append(times, tk.Now())
+		tk.SleepThen(5, func() {
+			times = append(times, tk.Now())
+			tk.SleepThen(2.5, func() {
+				times = append(times, tk.Now())
+			})
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(times) != "[0 5 7.5]" {
+		t.Errorf("step times = %v, want [0 5 7.5]", times)
+	}
+	if e.Live() != 0 {
+		t.Errorf("Live() = %d after the task fell off its last step", e.Live())
+	}
+}
+
+func TestTaskMatchesProcTiming(t *testing.T) {
+	// The same schedule of sleeps and event waits must finish at the same
+	// virtual time under both engines.
+	run := func(useTasks bool) Time {
+		e := NewEnv()
+		ev := e.NewEvent()
+		var end Time
+		if useTasks {
+			e.SpawnTask("a", -1, func(tk *Task) {
+				tk.SleepThen(3, func() { ev.Trigger() })
+			})
+			e.SpawnTask("b", -1, func(tk *Task) {
+				ev.WaitT(tk, func() {
+					tk.SleepThen(4, func() { end = tk.Now() })
+				})
+			})
+		} else {
+			e.Spawn("a", func(p *Proc) {
+				p.Sleep(3)
+				ev.Trigger()
+			})
+			e.Spawn("b", func(p *Proc) {
+				p.Wait(ev)
+				p.Sleep(4)
+				end = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if pt, tt := run(false), run(true); pt != tt {
+		t.Errorf("proc run ends at %v, task run at %v", pt, tt)
+	}
+}
+
+func TestTaskWaitUntilT(t *testing.T) {
+	e := NewEnv()
+	c := e.NewCond()
+	val := 0
+	var seen int
+	e.SpawnTask("w", -1, func(tk *Task) {
+		c.WaitUntilT(tk, func() bool { return val >= 3 }, func() {
+			seen = val
+		})
+	})
+	for i := 1; i <= 4; i++ {
+		v := i
+		e.At(Time(i), func() { val = v; c.Broadcast() })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Errorf("continuation saw val=%d, want 3 (first satisfying broadcast)", seen)
+	}
+}
+
+func TestTaskWaitUntilTImmediate(t *testing.T) {
+	// A predicate that already holds must run the continuation within the
+	// same step: no virtual time passes and no park happens.
+	e := NewEnv()
+	c := e.NewCond()
+	ran := false
+	e.SpawnTask("w", -1, func(tk *Task) {
+		c.WaitUntilT(tk, func() bool { return true }, func() { ran = true })
+		if !ran {
+			t.Error("continuation deferred past the current step")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskDeadlockReported(t *testing.T) {
+	e := NewEnv()
+	c := e.NewCond().Named("stuck-flag")
+	e.SpawnTask("rank", 12, func(tk *Task) {
+		c.WaitT(tk, func() {})
+	})
+	err := e.Run()
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run() = %v, want DeadlockError", err)
+	}
+	if fmt.Sprint(de.Blocked) != "[rank12]" {
+		t.Errorf("blocked = %v, want [rank12]", de.Blocked)
+	}
+	if de.WaitGraph["stuck-flag"] == nil {
+		t.Errorf("wait graph %v missing stuck-flag", de.WaitGraph)
+	}
+}
+
+func TestTaskPanicBecomesCrashError(t *testing.T) {
+	e := NewEnv()
+	var hooked []string
+	e.OnTaskFailure = func(tk *Task, f ProcFailure) {
+		hooked = append(hooked, fmt.Sprintf("%s:%v@%v", f.Proc, f.Cause, f.Time))
+	}
+	e.SpawnTask("boom", 3, func(tk *Task) {
+		tk.SleepThen(2, func() { panic("bang") })
+	})
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if len(ce.Failures) != 1 || ce.Failures[0].Proc != "boom3" {
+		t.Fatalf("failures = %+v", ce.Failures)
+	}
+	if fmt.Sprint(hooked) != "[boom3:bang@2]" {
+		t.Errorf("OnTaskFailure saw %v", hooked)
+	}
+}
+
+func TestTaskPanicWhileParkedElsewhereIsClean(t *testing.T) {
+	// A task that dies leaves no stale waiter entry: a later broadcast on
+	// the cond it waited on must not try to wake the corpse.
+	e := NewEnv()
+	c := e.NewCond()
+	e.SpawnTask("dead", -1, func(tk *Task) {
+		c.WaitT(tk, func() {})
+	})
+	e.At(1, func() {
+		e.KillTask(findTask(e, "dead"), "chaos")
+	})
+	e.At(2, c.Broadcast)
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if len(c.twaiters) != 0 {
+		t.Errorf("cond still holds %d task waiters", len(c.twaiters))
+	}
+}
+
+func TestKillTaskSleeping(t *testing.T) {
+	// A sleeping task has a queued resume; the kill is delivered when it
+	// fires, like a sleeping Proc.
+	e := NewEnv()
+	var tk *Task
+	reachedEnd := false
+	tk = e.SpawnTask("victim", -1, func(tk *Task) {
+		tk.SleepThen(100, func() { reachedEnd = true })
+	})
+	e.At(10, func() { e.KillTask(tk, "crash") })
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if reachedEnd {
+		t.Error("killed task still ran its continuation")
+	}
+	if f := ce.Failures[0]; f.Time != 100 {
+		t.Errorf("death recorded at t=%v, want 100 (wake time)", f.Time)
+	}
+}
+
+func TestTaskEventsCounted(t *testing.T) {
+	e := NewEnv()
+	e.SpawnTask("t", -1, func(tk *Task) {
+		tk.SleepThen(1, func() {
+			tk.SleepThen(1, func() {})
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Spawn enqueues one start item and each SleepThen one resume item.
+	if got := e.Events(); got != 3 {
+		t.Errorf("Events() = %d, want 3", got)
+	}
+}
+
+func TestTaskNamesLazily(t *testing.T) {
+	e := NewEnv()
+	tk := e.SpawnTask("rank", 7, func(tk *Task) {})
+	if tk.name != "" {
+		t.Fatalf("name %q formatted eagerly", tk.name)
+	}
+	if got := tk.Name(); got != "rank7" {
+		t.Fatalf("Name() = %q, want rank7", got)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !tk.Done() {
+		t.Error("task not done after Run")
+	}
+}
+
+// findTask returns the single parked task with the given name.
+func findTask(e *Env, name string) *Task {
+	for tk := range e.tparked {
+		if tk.Name() == name {
+			return tk
+		}
+	}
+	return nil
+}

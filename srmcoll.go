@@ -32,6 +32,7 @@ import (
 	"srmcoll/internal/fault"
 	"srmcoll/internal/machine"
 	"srmcoll/internal/rma"
+	"srmcoll/internal/scale"
 	"srmcoll/internal/sim"
 	"srmcoll/internal/trace"
 	"srmcoll/internal/tree"
@@ -258,6 +259,56 @@ func (cl *Cluster) Tracing() bool { return cl.tracing }
 
 // Config returns the cluster configuration.
 func (cl *Cluster) Config() Config { return cl.cfg }
+
+// ScaleEngine selects the execution engine for ScaleAllreduce.
+type ScaleEngine = scale.Engine
+
+const (
+	// ScaleTasks steps each rank as a resumable state machine on the event
+	// loop — the massive-rank engine, and the default.
+	ScaleTasks = scale.Tasks
+	// ScaleProcs runs each rank as a goroutine process, the conformance
+	// reference; it is bit-identical to ScaleTasks but costs a goroutine
+	// and stack per rank.
+	ScaleProcs = scale.Procs
+)
+
+// ScaleOptions configures one ScaleAllreduce run.
+type ScaleOptions struct {
+	Bytes  int         // payload bytes per rank (int64 sum; rounded up to 8)
+	Reps   int         // back-to-back repetitions, pipelined by the protocol
+	Engine ScaleEngine // ScaleTasks (default) or ScaleProcs
+	Verify bool        // check every rank's result against the exact sum
+}
+
+// ScaleResult reports a ScaleAllreduce run: virtual time, per-rank finish
+// times, machine counters, and the protocol memory footprint.
+type ScaleResult = scale.Result
+
+// ScaleAllreduce runs the massive-rank allreduce core — an SMP-aware
+// binomial tree with credit-based pipelining (see internal/scale) — on this
+// cluster's machine configuration. Unlike Run it does not spawn goroutine
+// ranks by default: the Tasks engine drives every rank as a state machine
+// on the event loop, so 64k+ ranks complete in seconds of wall clock. The
+// cluster's fault plan applies as far as the scale core supports it
+// (channel faults, storms, reliable delivery); crash and stall scenarios
+// need the full chaos runner in Run and are rejected here.
+func (cl *Cluster) ScaleAllreduce(opt ScaleOptions) (*ScaleResult, error) {
+	var plan *fault.Plan
+	if cl.faults.Active() || cl.faults.Reliable {
+		p := cl.faults
+		plan = &p
+	}
+	return scale.Run(scale.Config{
+		Machine:  cl.cfg,
+		Bytes:    opt.Bytes,
+		Reps:     opt.Reps,
+		Engine:   opt.Engine,
+		Faults:   plan,
+		Verify:   opt.Verify,
+		Deadline: cl.faults.Deadline,
+	})
+}
 
 // Result reports one SPMD run.
 type Result struct {
