@@ -17,6 +17,9 @@
 //	srmbench -fig chaos      # fault-tolerance chaos campaign table
 //	srmbench -chaosjson F    # write the chaos-campaign report to F
 //	srmbench -ranks 65536    # massive-rank allreduce smoke (state-machine engine)
+//	srmbench -fig crossover  # per-tree crossover curves on a hierarchical topology
+//	srmbench -topo 12x8/3    # topology shape for -fig crossover and -tunejson
+//	srmbench -tunejson F     # run the autotuner, write the decision table to F
 //	srmbench -cpuprofile F   # write a pprof CPU profile of the run to F
 //	srmbench -memprofile F   # write a pprof heap profile at exit to F
 package main
@@ -36,7 +39,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 2, 6, 7, 8, 9, 10, 11, 12, or all")
+	fig := flag.String("fig", "", "figure to regenerate: 2, 6, 7, 8, 9, 10, 11, 12, chaos, crossover, or all")
 	headline := flag.Bool("headline", false, "print the headline improvement table")
 	extension := flag.Bool("extension", false, "benchmark the extension collectives (gather/scatter/allgather)")
 	ablation := flag.String("ablation", "", "ablation to run: trees, smpbcast, yield, chunks, eager, interrupts, late, 15of16, daemons, model, all")
@@ -55,6 +58,10 @@ func main() {
 		"run the fault-tolerance chaos campaign and write the JSON report to this file")
 	ranks := flag.Int("ranks", 0,
 		"run one verified massive-rank allreduce on the state-machine engine at this many ranks")
+	topo := flag.String("topo", "",
+		"hierarchical topology shape NxT[/leaf[/g1...]] (e.g. 12x8/3) for -fig crossover and -tunejson")
+	tunejson := flag.String("tunejson", "",
+		"run the (op, size, topology) autotuner and write the decision-table JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -63,7 +70,7 @@ func main() {
 	// non-zero exit instead of surfacing mid-run (or never, for values only
 	// reached after hours of sweeping).
 	validFigs := map[string]bool{"": true, "2": true, "6": true, "7": true, "8": true,
-		"9": true, "10": true, "11": true, "12": true, "chaos": true, "all": true}
+		"9": true, "10": true, "11": true, "12": true, "chaos": true, "crossover": true, "all": true}
 	validAbls := map[string]bool{"": true, "trees": true, "smpbcast": true, "yield": true,
 		"chunks": true, "eager": true, "interrupts": true, "late": true, "15of16": true,
 		"daemons": true, "model": true, "overlap": true, "all": true}
@@ -84,9 +91,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "srmbench: -ranks must be >= 0, got %d\n", *ranks)
 		bad = true
 	}
+	if *topo != "" {
+		// Parse eagerly so a malformed shape fails before any sweeping starts.
+		if _, err := srmcoll.ParseTopo(*topo); err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			bad = true
+		}
+		if *fig != "crossover" && *tunejson == "" {
+			fmt.Fprintln(os.Stderr, "srmbench: -topo only applies to -fig crossover and -tunejson")
+			bad = true
+		}
+	}
 	if !bad && *fig == "" && !*headline && *ablation == "" && !*extension &&
-		*benchjson == "" && *traceOut == "" && *overlapjson == "" && *chaosjson == "" && *ranks == 0 {
-		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson, -chaosjson, -ranks or -trace")
+		*benchjson == "" && *traceOut == "" && *overlapjson == "" && *chaosjson == "" &&
+		*ranks == 0 && *tunejson == "" {
+		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson, -chaosjson, -tunejson, -ranks or -trace")
 		bad = true
 	}
 	if bad {
@@ -162,9 +181,32 @@ func main() {
 	}
 	g := exp.DefaultGrid()
 	chaosCfg := exp.DefaultChaosConfig()
+	tuneCfg := exp.DefaultTuneConfig()
 	if *quick {
 		g = exp.QuickGrid()
 		chaosCfg = exp.QuickChaosConfig()
+		tuneCfg = exp.QuickTuneConfig()
+	}
+
+	if *tunejson != "" {
+		if *topo != "" {
+			tuneCfg.Topos = []string{*topo}
+		}
+		tbl, err := exp.RunTune(tuneCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := tbl.Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*tunejson, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *tunejson)
 	}
 
 	if *chaosjson != "" {
@@ -258,6 +300,19 @@ func main() {
 			emit(exp.Fig12(g))
 		case f == "chaos":
 			emit(exp.ChaosTable(exp.RunChaos(chaosCfg)))
+		case f == "crossover":
+			spec := *topo
+			if spec == "" {
+				spec = tuneCfg.Topos[1] // the grid's non-power-of-two shape
+			}
+			tabs, err := exp.FigCrossover(tuneCfg, spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+				os.Exit(1)
+			}
+			for _, t := range tabs {
+				emit(t)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "srmbench: unknown figure %q\n", f)
 			os.Exit(2)

@@ -108,7 +108,7 @@ func newAllreduceState(g *Group, size int, ds dataspec) *allreduceState {
 			}
 		}
 	} else {
-		a.emb = g.lay.embed(s.opt.InterTree, s.opt.IntraTree, g.lay.local[0][0])
+		a.emb = g.lay.embed(s.interKind("allreduce", size), s.opt.IntraTree, g.lay.local[0][0])
 		a.pslot = make([][2][]byte, nn)
 		a.arr = make([][2]*rma.Counter, nn)
 		a.credit = make([]*rma.Counter, nn)

@@ -50,6 +50,20 @@ type Options struct {
 	BarrierSMPBcst bool // arbitrate shared buffers with SMP barriers, the
 	// Sistare-style design §4 contrasts with (more sensitive to late arrivals)
 	KeepInterrupts bool // never disable interrupts for small messages (§2.3 off)
+
+	// TreeFor, when set, resolves the inter-node tree kind per operation
+	// ("bcast", "reduce", "allreduce") and message size, overriding
+	// InterTree. The autotuner's decision table installs a resolver here;
+	// nil keeps the static InterTree for every operation.
+	TreeFor func(op string, size int) tree.Kind
+}
+
+// interKind resolves the inter-node tree kind for one operation instance.
+func (s *SRM) interKind(op string, size int) tree.Kind {
+	if s.opt.TreeFor != nil {
+		return s.opt.TreeFor(op, size)
+	}
+	return s.opt.InterTree
 }
 
 // SRM is the collective-operations engine for one machine. All tasks share

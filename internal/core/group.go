@@ -19,6 +19,7 @@ type layout struct {
 	local   [][]int     // per participating node: its member ranks, group order
 	ni      map[int]int // global rank -> index into nodes
 	li      map[int]int // global rank -> index into local[ni]
+	spans   []int       // hierarchy group widths (machine.Config.TierSpans)
 }
 
 // newLayout validates members and builds the node-grouped layout.
@@ -30,6 +31,7 @@ func newLayout(m *machine.Machine, members []int) layout {
 		members: append([]int(nil), members...),
 		ni:      make(map[int]int, len(members)),
 		li:      make(map[int]int, len(members)),
+		spans:   m.Cfg.TierSpans(),
 	}
 	byNode := make(map[int][]int)
 	for _, r := range members {
@@ -87,8 +89,10 @@ func (lay layout) embed(interKind, intraKind tree.Kind, root int) gEmbed {
 	if !ok {
 		panic(fmt.Sprintf("core: root %d is not a group member", root))
 	}
+	// The inter-node tree is hierarchy-aware: node ids plus the machine's
+	// tier spans let multilevel trees group participants by switch.
 	e := gEmbed{
-		inter:   tree.New(interKind, len(lay.nodes), rootNI),
+		inter:   tree.NewHier(interKind, lay.nodes, rootNI, lay.spans),
 		intra:   make([]tree.Tree, len(lay.nodes)),
 		masters: make([]int, len(lay.nodes)),
 	}

@@ -58,7 +58,7 @@ func newReduceState(g *Group, root, size int, ds dataspec) *reduceState {
 		root: root,
 		size: size,
 		ds:   ds,
-		emb:  g.lay.embed(s.opt.InterTree, s.opt.IntraTree, root),
+		emb:  g.lay.embed(s.interKind("reduce", size), s.opt.IntraTree, root),
 	}
 	chunk := cfg.SRMLargeChunk
 	if ds.dt.Size() > 0 {

@@ -185,6 +185,13 @@ func measureCfg(g Grid, cfg srmcoll.Config, impl srmcoll.Impl, op Op, size int, 
 	if size >= g.LargeOnce || iters < 1 {
 		iters = 1
 	}
+	return measureCluster(cl, impl, op, size, iters)
+}
+
+// measureCluster runs iters back-to-back calls of op on a prepared cluster
+// (variant, tuning and fault plan already set) and returns the average
+// virtual time per call.
+func measureCluster(cl *srmcoll.Cluster, impl srmcoll.Impl, op Op, size, iters int) float64 {
 	res, err := cl.Run(impl, func(c *srmcoll.Comm) {
 		var send, recv []byte
 		if op != Barrier {

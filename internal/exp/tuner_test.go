@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"srmcoll"
+	"srmcoll/internal/tree"
+)
+
+// tinyTuneConfig keeps the tuner tests fast: one non-power-of-two hierarchy,
+// one op, three sizes, the two trees that actually diverge there.
+func tinyTuneConfig() TuneConfig {
+	return TuneConfig{
+		Topos: []string{"12x4/3"},
+		Ops:   []Op{Bcast},
+		Sizes: []int{8, 4 << 10, 64 << 10},
+		Trees: []tree.Kind{tree.Binomial, tree.Multilevel},
+		Iters: 1,
+	}
+}
+
+func TestRunTuneProducesValidTable(t *testing.T) {
+	tbl, err := RunTune(tinyTuneConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Keys are canonical: "12x4/3" closes with an implied top tier of 4.
+	e := tbl.Topo("12x4/3/4")
+	if e == nil {
+		t.Fatalf("table misses the canonical key; entries: %+v", tbl.Entries)
+	}
+	if _, ok := e.Lookup("bcast", 8); !ok {
+		t.Error("tuned entry has no rule for the smallest size")
+	}
+	if _, ok := e.Lookup("bcast", 1<<30); !ok {
+		t.Error("tuned entry is not open-ended at the top")
+	}
+}
+
+func TestRunTuneRejectsBadTopo(t *testing.T) {
+	tc := tinyTuneConfig()
+	tc.Topos = []string{"nonsense"}
+	if _, err := RunTune(tc); err == nil {
+		t.Fatal("RunTune accepted a malformed topology spec")
+	}
+}
+
+// TestTunerWorkerCountInvisible extends the repo's -j guarantee to the
+// tuner: the marshaled decision table and the crossover figures must be
+// byte-identical whether measured serially or by 8 workers.
+func TestTunerWorkerCountInvisible(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	tc := tinyTuneConfig()
+
+	render := func() ([]byte, string) {
+		tbl, err := RunTune(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := tbl.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tabs, err := FigCrossover(tc, tc.Topos[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text string
+		for _, tab := range tabs {
+			text += tab.Text()
+		}
+		return data, text
+	}
+
+	SetWorkers(1)
+	tbl1, fig1 := render()
+	SetWorkers(8)
+	tbl8, fig8 := render()
+	if !bytes.Equal(tbl1, tbl8) {
+		t.Errorf("decision table differs between -j 1 and -j 8:\n%s\n%s", tbl1, tbl8)
+	}
+	if fig1 != fig8 {
+		t.Errorf("crossover figures differ between -j 1 and -j 8:\n%q\n%q", fig1, fig8)
+	}
+}
+
+// TestMultilevelWinsOnHierarchy is the PR's acceptance criterion: on a
+// hierarchy whose leaf groups are not a power of two, the binomial tree's
+// accidental alignment breaks and the topology-aware multilevel tree must
+// win outright for a large message.
+func TestMultilevelWinsOnHierarchy(t *testing.T) {
+	cfg, err := srmcoll.ParseTopo("12x4/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 256 << 10
+	multi := measureTree(cfg, Bcast, size, tree.Multilevel, 1)
+	bino := measureTree(cfg, Bcast, size, tree.Binomial, 1)
+	if multi >= bino {
+		t.Fatalf("multilevel bcast %.1fus not faster than binomial %.1fus on 12x4/3", multi, bino)
+	}
+}
+
+// TestTunedDispatchBeatsForcedBinomial proves Cluster really consults the
+// committed decision table by default: on a tuned hierarchical shape the
+// default dispatch must match the explicitly forced winner and beat (or
+// tie) the forced paper default.
+func TestTunedDispatchBeatsForcedBinomial(t *testing.T) {
+	cfg, err := srmcoll.ParseTopo("12x8/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cfg.TopoKey()
+	e := srmcoll.DefaultTuning().Topo(key)
+	if e == nil {
+		t.Fatalf("committed table has no entry for %s", key)
+	}
+	const size = 256 << 10
+	want, ok := e.Lookup("bcast", size)
+	if !ok || want == tree.Binomial {
+		t.Fatalf("table rule for bcast %dB on %s = %v, ok=%v; expected a topology-aware winner", size, key, want, ok)
+	}
+
+	tuned := func() float64 { // default dispatch: table-driven
+		cl, err := srmcoll.NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return measureCluster(cl, srmcoll.SRM, Bcast, size, 1)
+	}()
+	forced := measureTree(cfg, Bcast, size, want, 1)
+	bino := measureTree(cfg, Bcast, size, tree.Binomial, 1)
+	if tuned != forced {
+		t.Errorf("tuned dispatch %.3fus != forced %v %.3fus; the table is not being consulted", tuned, want, forced)
+	}
+	if tuned >= bino {
+		t.Errorf("tuned dispatch %.3fus not faster than forced binomial %.3fus", tuned, bino)
+	}
+}
+
+// TestExplicitVariantOverridesTuning: SetVariant with a non-binomial tree is
+// an explicit user choice and must win over the decision table.
+func TestExplicitVariantOverridesTuning(t *testing.T) {
+	cfg, err := srmcoll.ParseTopo("12x8/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 256 << 10
+	cl, err := srmcoll.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetVariant(srmcoll.Variant{InterTree: srmcoll.Binary})
+	got := measureCluster(cl, srmcoll.SRM, Bcast, size, 1)
+	want := measureTree(cfg, Bcast, size, tree.Binary, 1)
+	if got != want {
+		t.Errorf("explicit binary variant measured %.3fus, forced binary %.3fus; tuning overrode the user", got, want)
+	}
+}
+
+// TestFlatTopologyIgnoresTuning: the committed table only names hierarchical
+// shapes, so flat configs must behave identically with and without it.
+func TestFlatTopologyIgnoresTuning(t *testing.T) {
+	cfg := srmcoll.ColonySP(4, 4)
+	run := func(disable bool) float64 {
+		cl, err := srmcoll.NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disable {
+			cl.SetTuning(nil)
+		}
+		return measureCluster(cl, srmcoll.SRM, Bcast, 64<<10, 1)
+	}
+	if with, without := run(false), run(true); with != without {
+		t.Errorf("flat topology: tuned %.3fus != untuned %.3fus", with, without)
+	}
+}

@@ -11,12 +11,28 @@ package machine
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"srmcoll/internal/bufpool"
 	"srmcoll/internal/fault"
 	"srmcoll/internal/sim"
 	"srmcoll/internal/trace"
 )
+
+// Tier describes one level of the network hierarchy above the leaf switch —
+// a rack aggregation switch, a pod spine, a wide-area link — with its own
+// LogGP-style parameters. Messages whose endpoints first share a switch at
+// this tier pay this tier's wire costs instead of the base Net* parameters,
+// and (when Concurrency > 0) contend for the tier group's uplink ports.
+type Tier struct {
+	Name        string   // label for rendering ("rack", "pod", ...)
+	GroupSize   int      // groups of the level below per group of this tier
+	Latency     sim.Time // one-way latency for messages crossing this tier
+	PerByte     sim.Time // uplink serialization cost, us/byte
+	PktOverhead sim.Time // per-packet uplink overhead
+	Concurrency int      // uplink ports per group; 0 = unlimited
+}
 
 // Config describes a cluster and its timing parameters.
 type Config struct {
@@ -63,6 +79,19 @@ type Config struct {
 	SRMLargeChunk   int  // chunk for large-message pipelines (bcast/reduce)
 	SRMAllreduceRD  int  // recursive-doubling allreduce limit (16 KB)
 	SpinYield       bool // yield the CPU after bounded unsuccessful spins (§2.4)
+
+	// Hierarchical topology (DESIGN.md §14). LeafNodes is the number of
+	// nodes per leaf switch; 0 keeps the paper's flat single-switch model,
+	// in which the base Net* parameters cover every node pair. When
+	// LeafNodes > 0, the base Net* parameters describe the leaf switch and
+	// Tiers lists the levels above it, innermost first. Node ids map onto
+	// the hierarchy by contiguous blocks: nodes [0,LeafNodes) share the
+	// first leaf switch, and tier i groups span
+	// LeafNodes*GroupSize[0]*...*GroupSize[i] consecutive nodes. Node
+	// pairs farther apart than the last tier's span clamp to the last
+	// tier's parameters.
+	LeafNodes int
+	Tiers     []Tier
 }
 
 // Validate reports a configuration error, if any.
@@ -80,8 +109,108 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: SRM buffer sizes inconsistent")
 	case c.SRMLargeChunk < 1 || c.SRMAllreduceRD < 1:
 		return fmt.Errorf("machine: SRM chunk sizes must be positive")
+	case c.LeafNodes < 0:
+		return fmt.Errorf("machine: LeafNodes = %d, want >= 0", c.LeafNodes)
+	case len(c.Tiers) > 0 && c.LeafNodes < 1:
+		return fmt.Errorf("machine: Tiers set but LeafNodes = %d; set nodes-per-leaf-switch", c.LeafNodes)
+	case c.LeafNodes > 0 && c.LeafNodes < c.Nodes && len(c.Tiers) == 0:
+		return fmt.Errorf("machine: LeafNodes = %d < Nodes = %d needs at least one Tier",
+			c.LeafNodes, c.Nodes)
+	}
+	for i, t := range c.Tiers {
+		switch {
+		case t.GroupSize < 1:
+			return fmt.Errorf("machine: Tiers[%d].GroupSize = %d, want >= 1", i, t.GroupSize)
+		case t.PerByte <= 0:
+			return fmt.Errorf("machine: Tiers[%d].PerByte must be positive", i)
+		case t.Latency < 0 || t.PktOverhead < 0:
+			return fmt.Errorf("machine: Tiers[%d] times must be non-negative", i)
+		case t.Concurrency < 0:
+			return fmt.Errorf("machine: Tiers[%d].Concurrency = %d, want >= 0", i, t.Concurrency)
+		}
 	}
 	return nil
+}
+
+// Hierarchical reports whether the config describes a multi-tier topology.
+func (c Config) Hierarchical() bool { return c.LeafNodes > 0 && len(c.Tiers) > 0 }
+
+// TierSpans returns the group width in nodes at each hierarchy level,
+// innermost first: spans[0] = LeafNodes, spans[i] = nodes per Tiers[i-1]
+// group. It returns nil for a flat topology. Tree builders (tree.NewHier)
+// consume this directly.
+func (c Config) TierSpans() []int {
+	if !c.Hierarchical() {
+		return nil
+	}
+	spans := make([]int, 0, len(c.Tiers)+1)
+	span := c.LeafNodes
+	spans = append(spans, span)
+	for _, t := range c.Tiers {
+		span *= t.GroupSize
+		spans = append(spans, span)
+	}
+	return spans
+}
+
+// TierOf returns the hierarchy distance between two nodes: 0 for the same
+// node, 1 for nodes on the same leaf switch (or any pair on a flat
+// topology), and 2+i for pairs that first share a switch at Tiers[i]. Pairs
+// beyond the last tier's span clamp to the last tier.
+func (c Config) TierOf(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if !c.Hierarchical() || a/c.LeafNodes == b/c.LeafNodes {
+		return 1
+	}
+	span := c.LeafNodes
+	for i, t := range c.Tiers {
+		span *= t.GroupSize
+		if a/span == b/span {
+			return 2 + i
+		}
+	}
+	return 1 + len(c.Tiers)
+}
+
+// NetLatencyOf returns the one-way wire latency between two nodes' adapters.
+// On a flat topology (or within a leaf switch) this is NetLatency.
+func (c Config) NetLatencyOf(a, b int) sim.Time {
+	if l := c.TierOf(a, b); l >= 2 {
+		return c.Tiers[l-2].Latency
+	}
+	return c.NetLatency
+}
+
+// MaxNetLatency returns the worst one-way latency across all tiers; timeout
+// defaults (reliable-mode acks, failure detectors) derive from it so they
+// stay conservative on deep hierarchies.
+func (c Config) MaxNetLatency() sim.Time {
+	max := c.NetLatency
+	for _, t := range c.Tiers {
+		if t.Latency > max {
+			max = t.Latency
+		}
+	}
+	return max
+}
+
+// TopoKey returns the canonical topology-shape key used by the autotuner's
+// decision table: "NxT" for flat topologies, "NxT/leaf/g1/.../gk" for
+// hierarchies (leaf = LeafNodes, gi = Tiers[i-1].GroupSize). The key names
+// the shape only; tier timing parameters are assumed to be the
+// HierColonySP defaults.
+func (c Config) TopoKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d", c.Nodes, c.TasksPerNode)
+	if c.Hierarchical() {
+		fmt.Fprintf(&b, "/%d", c.LeafNodes)
+		for _, t := range c.Tiers {
+			fmt.Fprintf(&b, "/%d", t.GroupSize)
+		}
+	}
+	return b.String()
 }
 
 // P returns the total task count.
@@ -145,6 +274,78 @@ func ViaCluster(nodes, tasksPerNode int) Config {
 	return c
 }
 
+// HierColonySP returns a ColonySP-based hierarchical configuration:
+// leafNodes nodes per leaf switch, then one tier per groupSizes entry
+// (innermost first). Each successive tier is slower than the one below —
+// 3x the latency, 2.5x the per-byte cost, 1.5x the packet overhead — with
+// two uplink ports per group, a shape in the spirit of rack/pod/wide-area
+// fabrics. A missing or catch-all (< 2) group size closes the hierarchy
+// with a single top tier spanning the remaining nodes; leafNodes <= 0 or
+// >= nodes degenerates to the flat ColonySP model.
+func HierColonySP(nodes, tasksPerNode, leafNodes int, groupSizes ...int) Config {
+	c := ColonySP(nodes, tasksPerNode)
+	if leafNodes <= 0 || leafNodes >= nodes {
+		return c
+	}
+	c.LeafNodes = leafNodes
+	names := []string{"rack", "pod", "wan"}
+	lat, g, pkt := c.NetLatency, c.NetPerByte, c.NetPktOverhead
+	span := leafNodes
+	for i := 0; span < nodes; i++ {
+		gs := 0
+		if i < len(groupSizes) {
+			gs = groupSizes[i]
+		}
+		if gs < 2 {
+			gs = (nodes + span - 1) / span // catch-all top tier
+		}
+		lat *= 3
+		g *= 2.5
+		pkt *= 1.5
+		name := "tier"
+		if i < len(names) {
+			name = names[i]
+		}
+		c.Tiers = append(c.Tiers, Tier{
+			Name: name, GroupSize: gs,
+			Latency: lat, PerByte: g, PktOverhead: pkt,
+			Concurrency: 2,
+		})
+		span *= gs
+	}
+	return c
+}
+
+// ParseTopo parses a topology-shape spec of the TopoKey form
+// "NxT[/leaf[/g1[/g2...]]]" — e.g. "16x8" (flat, 16 nodes x 8 tasks) or
+// "12x8/3/2" (leaf switches of 3 nodes, racks of 2 leaves, plus an implied
+// top tier) — and returns the corresponding HierColonySP configuration.
+func ParseTopo(spec string) (Config, error) {
+	parts := strings.Split(spec, "/")
+	var nodes, tpn int
+	if _, err := fmt.Sscanf(parts[0], "%dx%d", &nodes, &tpn); err != nil ||
+		fmt.Sprintf("%dx%d", nodes, tpn) != parts[0] {
+		return Config{}, fmt.Errorf("machine: bad topology %q, want NxT[/leaf[/g...]]", spec)
+	}
+	dims := make([]int, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		d, err := strconv.Atoi(p)
+		if err != nil || d < 1 {
+			return Config{}, fmt.Errorf("machine: bad topology %q: segment %q is not a positive integer", spec, p)
+		}
+		dims = append(dims, d)
+	}
+	leaf := 0
+	if len(dims) > 0 {
+		leaf = dims[0]
+	}
+	c := HierColonySP(nodes, tpn, leaf, dims[min(1, len(dims)):]...)
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // Node is the mutable per-node simulation state.
 type Node struct {
 	ID           int
@@ -168,6 +369,11 @@ type Machine struct {
 	// Buffers recycles transient payload copies (put snapshots, eager-send
 	// copies) for this machine's single-threaded simulation.
 	Buffers *bufpool.Pool
+
+	// tierPorts[i][g] holds the free-at times of tier i group g's uplink
+	// ports; allocated only for tiers with a finite Concurrency.
+	tierPorts [][][]sim.Time
+	tierSpans []int // cached Cfg.TierSpans()
 }
 
 // New creates a machine. It panics on an invalid configuration, since every
@@ -180,6 +386,21 @@ func New(env *sim.Env, cfg Config) *Machine {
 	m.nodes = make([]*Node, cfg.Nodes)
 	for i := range m.nodes {
 		m.nodes[i] = &Node{ID: i}
+	}
+	if cfg.Hierarchical() {
+		m.tierSpans = cfg.TierSpans()
+		m.tierPorts = make([][][]sim.Time, len(cfg.Tiers))
+		for i, t := range cfg.Tiers {
+			if t.Concurrency <= 0 {
+				continue
+			}
+			span := m.tierSpans[i+1]
+			groups := (cfg.Nodes + span - 1) / span
+			m.tierPorts[i] = make([][]sim.Time, groups)
+			for g := range m.tierPorts[i] {
+				m.tierPorts[i][g] = make([]sim.Time, t.Concurrency)
+			}
+		}
 	}
 	return m
 }
@@ -349,6 +570,39 @@ func (m *Machine) NetInject(node, n int) (injectEnd, arrival sim.Time) {
 	injectEnd = start + m.Cfg.NetPktOverhead + sim.Time(n)*m.Cfg.NetPerByte
 	nd.nicFreeAt = injectEnd
 	return injectEnd, injectEnd + m.Cfg.NetLatency
+}
+
+// NetInjectTo is the tier-aware NetInject: it reserves src's adapter for
+// the local injection exactly as NetInject does, and when the destination
+// sits beyond the leaf switch the message additionally serializes through
+// one of the crossing tier's uplink ports (earliest-free port, lowest index
+// on ties — deterministic) at that tier's rate before covering the tier's
+// latency. On a flat topology, or within a leaf switch, it is NetInject
+// bit for bit.
+func (m *Machine) NetInjectTo(src, dst, n int) (injectEnd, arrival sim.Time) {
+	level := m.Cfg.TierOf(src, dst)
+	if level <= 1 {
+		return m.NetInject(src, n)
+	}
+	injectEnd, _ = m.NetInject(src, n)
+	ti := level - 2
+	t := m.Cfg.Tiers[ti]
+	ser := t.PktOverhead + sim.Time(n)*t.PerByte
+	start := injectEnd
+	if ports := m.tierPorts[ti]; ports != nil {
+		pg := ports[src/m.tierSpans[ti+1]]
+		best := 0
+		for i := 1; i < len(pg); i++ {
+			if pg[i] < pg[best] {
+				best = i
+			}
+		}
+		if pg[best] > start {
+			start = pg[best]
+		}
+		pg[best] = start + ser
+	}
+	return injectEnd, start + ser + t.Latency
 }
 
 // SpinEnter records that a task on node id entered a spin-wait loop.

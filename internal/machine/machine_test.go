@@ -2,6 +2,7 @@ package machine
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -330,6 +331,179 @@ func TestDaemonHitInsideWindow(t *testing.T) {
 	}
 	if hit != 60 {
 		t.Fatalf("DaemonHit 40us into a 100us window = %v, want 60", hit)
+	}
+}
+
+func TestHierColonySPShape(t *testing.T) {
+	// 12 nodes, leaf switches of 3, racks of 2 leaves, implied top tier of
+	// the remaining factor 2.
+	cfg := HierColonySP(12, 8, 3, 2)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Hierarchical() || len(cfg.Tiers) != 2 {
+		t.Fatalf("tiers = %+v, want rack + implied top", cfg.Tiers)
+	}
+	if got := cfg.TierSpans(); fmt.Sprint(got) != "[3 6 12]" {
+		t.Errorf("TierSpans = %v, want [3 6 12]", got)
+	}
+	if got := cfg.TopoKey(); got != "12x8/3/2/2" {
+		t.Errorf("TopoKey = %q, want 12x8/3/2/2", got)
+	}
+	// Each tier is slower than the one below.
+	if cfg.Tiers[0].Latency <= cfg.NetLatency || cfg.Tiers[1].Latency <= cfg.Tiers[0].Latency {
+		t.Errorf("tier latencies do not increase: %v then %+v", cfg.NetLatency, cfg.Tiers)
+	}
+}
+
+func TestHierColonySPDegeneratesToFlat(t *testing.T) {
+	for _, leaf := range []int{0, -3, 12, 20} {
+		cfg := HierColonySP(12, 8, leaf)
+		if cfg.Hierarchical() || len(cfg.Tiers) != 0 {
+			t.Errorf("leafNodes=%d: want the flat ColonySP model, got %+v", leaf, cfg.Tiers)
+		}
+		if cfg.TopoKey() != "12x8" {
+			t.Errorf("leafNodes=%d: TopoKey = %q, want 12x8", leaf, cfg.TopoKey())
+		}
+	}
+}
+
+func TestTierOf(t *testing.T) {
+	cfg := HierColonySP(12, 4, 3, 2) // leaves of 3, racks of 6, top of 12
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},  // same node
+		{0, 2, 1},  // same leaf switch
+		{0, 3, 2},  // same rack, different leaf
+		{0, 6, 3},  // across racks: the top tier
+		{11, 5, 3}, // symmetric
+		{6, 9, 2},  // rack 1 internal: leaf {6,7,8} vs {9,10,11}
+	}
+	for _, c := range cases {
+		if got := cfg.TierOf(c.a, c.b); got != c.want {
+			t.Errorf("TierOf(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := cfg.TierOf(c.b, c.a); got != c.want {
+			t.Errorf("TierOf(%d,%d) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+	// Flat config: everything off-node is tier 1.
+	flat := ColonySP(4, 4)
+	if flat.TierOf(0, 3) != 1 || flat.TierOf(2, 2) != 0 {
+		t.Error("flat TierOf wrong")
+	}
+}
+
+func TestNetLatencyOfPicksTier(t *testing.T) {
+	cfg := HierColonySP(12, 4, 3, 2)
+	if got := cfg.NetLatencyOf(0, 1); got != cfg.NetLatency {
+		t.Errorf("leaf latency = %v, want base %v", got, cfg.NetLatency)
+	}
+	if got := cfg.NetLatencyOf(0, 4); got != cfg.Tiers[0].Latency {
+		t.Errorf("rack latency = %v, want %v", got, cfg.Tiers[0].Latency)
+	}
+	if got := cfg.NetLatencyOf(0, 11); got != cfg.Tiers[1].Latency {
+		t.Errorf("top latency = %v, want %v", got, cfg.Tiers[1].Latency)
+	}
+	if got := cfg.MaxNetLatency(); got != cfg.Tiers[1].Latency {
+		t.Errorf("MaxNetLatency = %v, want the top tier's %v", got, cfg.Tiers[1].Latency)
+	}
+}
+
+func TestNetInjectToLeafMatchesNetInject(t *testing.T) {
+	// Within a leaf switch (and on flat configs) NetInjectTo must be
+	// NetInject bit for bit; two fresh machines keep the NIC state apart.
+	cfg := HierColonySP(8, 1, 4)
+	a, b := New(sim.NewEnv(), cfg), New(sim.NewEnv(), cfg)
+	for _, n := range []int{0, 1, 4096, 100 << 10} {
+		e1, a1 := a.NetInjectTo(0, 2, n)
+		e2, a2 := b.NetInject(0, n)
+		if e1 != e2 || a1 != a2 {
+			t.Fatalf("n=%d: NetInjectTo = (%v,%v), NetInject = (%v,%v)", n, e1, a1, e2, a2)
+		}
+	}
+}
+
+func TestNetInjectToUplinkSerialization(t *testing.T) {
+	// One top-tier group with Concurrency uplink ports: with three distinct
+	// source nodes injecting at once, the first two sail through on separate
+	// ports and the third queues for exactly one serialization slot.
+	cfg := HierColonySP(8, 1, 4) // leaves of 4, one top tier, Concurrency 2
+	if cfg.Tiers[0].Concurrency != 2 {
+		t.Fatalf("expected 2 uplink ports, got %+v", cfg.Tiers[0])
+	}
+	m := New(sim.NewEnv(), cfg)
+	const n = 64 << 10
+	tier := cfg.Tiers[0]
+	ser := tier.PktOverhead + sim.Time(n)*tier.PerByte
+	_, a1 := m.NetInjectTo(0, 4, n)
+	_, a2 := m.NetInjectTo(1, 5, n)
+	_, a3 := m.NetInjectTo(2, 6, n)
+	if math.Abs(a2-a1) > 1e-9 {
+		t.Errorf("second sender arrives at %v, first at %v; want equal (separate ports)", a2, a1)
+	}
+	if math.Abs(a3-a1-ser) > 1e-9 {
+		t.Errorf("third sender arrives %v after first, want one port slot %v", a3-a1, ser)
+	}
+	// The cross-tier arrival includes the tier latency, not the leaf one.
+	inj, _ := New(sim.NewEnv(), cfg).NetInject(0, n)
+	if want := inj + ser + tier.Latency; math.Abs(a1-want) > 1e-9 {
+		t.Errorf("cross-tier arrival = %v, want injectEnd + port + tier latency = %v", a1, want)
+	}
+}
+
+func TestParseTopoRoundTrip(t *testing.T) {
+	for spec, key := range map[string]string{
+		"16x8":       "16x8",
+		"8x4/2":      "8x4/2/4",    // implied catch-all top tier of 4 groups
+		"12x8/3/2":   "12x8/3/2/2", // implied top tier of 2
+		"16x8/4/2":   "16x8/4/2/2", // implied top tier closes the 2x
+		"24x4/3/2":   "24x4/3/2/4", // 24 = 3*2*4
+		"16x4/4/2/2": "16x4/4/2/2", // fully specified: round-trips exactly
+	} {
+		cfg, err := ParseTopo(spec)
+		if err != nil {
+			t.Errorf("ParseTopo(%q): %v", spec, err)
+			continue
+		}
+		if got := cfg.TopoKey(); got != key {
+			t.Errorf("ParseTopo(%q).TopoKey() = %q, want %q", spec, got, key)
+		}
+		// The canonical key parses back to itself.
+		cfg2, err := ParseTopo(key)
+		if err != nil || cfg2.TopoKey() != key {
+			t.Errorf("TopoKey %q does not round-trip: %v", key, err)
+		}
+	}
+}
+
+func TestParseTopoRejects(t *testing.T) {
+	for _, spec := range []string{"", "bogus", "8", "8x", "x8", "8x2x3", " 8x2",
+		"8x2/", "8x2/0", "8x2/-1", "8x2/a", "8x2/3/x", "0x4", "4x0"} {
+		if _, err := ParseTopo(spec); err == nil {
+			t.Errorf("ParseTopo(%q) = nil error, want rejection", spec)
+		}
+	}
+}
+
+func TestValidateRejectsBadHierConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative leaf", func(c *Config) { c.LeafNodes = -1 }},
+		{"tiers without leaf", func(c *Config) { c.LeafNodes = 0 }},
+		{"partial cover", func(c *Config) { c.Tiers = nil }},
+		{"zero group size", func(c *Config) { c.Tiers[0].GroupSize = 0 }},
+		{"zero tier bw", func(c *Config) { c.Tiers[0].PerByte = 0 }},
+		{"negative tier latency", func(c *Config) { c.Tiers[0].Latency = -1 }},
+		{"negative concurrency", func(c *Config) { c.Tiers[0].Concurrency = -2 }},
+	}
+	for _, tc := range cases {
+		cfg := HierColonySP(12, 4, 3, 2)
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
 	}
 }
 

@@ -56,8 +56,18 @@ func busFactor(cfg machine.Config) float64 {
 	return float64(readers) / float64(cfg.MemBusConcurrency)
 }
 
-// interRounds is the one-port round count of the inter-node binomial tree.
+// interRounds is the one-port round count of the inter-node binomial tree;
+// a single node (tree.Log2Ceil clamps n <= 1 to 0) takes no rounds.
 func interRounds(cfg machine.Config) int { return tree.Log2Ceil(cfg.Nodes) }
+
+// numChunks returns the pipeline chunk count for m bytes in chunks of c:
+// at least 1, since a zero-byte operation still runs its control flow once.
+func numChunks(m, c int) int {
+	if m <= 0 || c <= 0 {
+		return 1
+	}
+	return (m + c - 1) / c
+}
 
 // Barrier predicts the SRM barrier time: an intra-node check-in, the
 // dissemination rounds between masters, and the release wave.
@@ -73,11 +83,11 @@ func smpBcast(cfg machine.Config, m, c int, staged bool) sim.Time {
 	if cfg.TasksPerNode == 1 || m == 0 {
 		return 0
 	}
-	f := busFactor(cfg)
-	nch := (m + c - 1) / c
-	if nch < 1 {
-		nch = 1
+	if c > m {
+		c = m // never charge copy-ins past the message's end
 	}
+	f := busFactor(cfg)
+	nch := numChunks(m, c)
 	last := m - (nch-1)*c
 	out := wake(cfg) + f*cp(cfg, last)
 	if !staged {
@@ -94,10 +104,7 @@ func smpBcast(cfg machine.Config, m, c int, staged bool) sim.Time {
 // pipeline plus the SMP distribution of the final chunk.
 func Bcast(cfg machine.Config, m int) sim.Time {
 	c := chunkFor(cfg, m)
-	nch := (m + c - 1) / c
-	if nch < 1 {
-		nch = 1
-	}
+	nch := numChunks(m, c)
 	rounds := interRounds(cfg)
 	// First chunk reaches the deepest node after the binomial rounds; the
 	// remaining chunks stream behind it at the bottleneck stage rate. The
@@ -113,9 +120,11 @@ func Bcast(cfg machine.Config, m int) sim.Time {
 		return smpBcast(cfg, m, c, true)
 	}
 	// The SMP distribution overlaps the inter-node pipeline; only the last
-	// chunk's node-local drain remains after the final arrival.
+	// chunk's node-local drain remains after the final arrival — and the
+	// last chunk is the tail, which can be shorter than c.
+	tail := m - (nch-1)*c
 	return sim.Time(rounds)*put(cfg, c) + sim.Time(nch-1)*bottleneck +
-		smpBcast(cfg, c, c, staged)
+		smpBcast(cfg, tail, tail, staged)
 }
 
 // chunkFor mirrors the SRM broadcast protocol switch points.
@@ -145,6 +154,9 @@ func smpReduce(cfg machine.Config, c int) sim.Time {
 // Reduce predicts the SRM reduce of m bytes: the SMP reduce pipelined with
 // the inter-node combining tree.
 func Reduce(cfg machine.Config, m int) sim.Time {
+	if cfg.P() == 1 {
+		return cp(cfg, m) // self-reduce: one local copy of the operand
+	}
 	c := m
 	if c > cfg.SRMLargeChunk {
 		c = cfg.SRMLargeChunk
@@ -152,10 +164,7 @@ func Reduce(cfg machine.Config, m int) sim.Time {
 	if c < 1 {
 		c = 1
 	}
-	nch := (m + c - 1) / c
-	if nch < 1 {
-		nch = 1
-	}
+	nch := numChunks(m, c)
 	rounds := interRounds(cfg)
 	perHop := put(cfg, c) + comb(cfg, c)
 	// Steady state: the busiest master per chunk combines its local
@@ -174,6 +183,9 @@ func Reduce(cfg machine.Config, m int) sim.Time {
 // Allreduce predicts the SRM allreduce of m bytes: recursive doubling for
 // small messages, the four-stage reduce/broadcast pipeline above.
 func Allreduce(cfg machine.Config, m int) sim.Time {
+	if cfg.P() == 1 {
+		return cp(cfg, m) // self-allreduce: one local copy of the operand
+	}
 	if m <= cfg.SRMAllreduceRD {
 		rounds := tree.Log2Ceil(cfg.Nodes)
 		t := smpReduce(cfg, m)

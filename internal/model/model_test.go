@@ -98,6 +98,83 @@ func TestChunkForSwitchPoints(t *testing.T) {
 	}
 }
 
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ m, c, want int }{
+		{0, 4096, 1},  // zero-byte op still runs control flow once
+		{-8, 4096, 1}, // negative clamps, no division blow-up
+		{100, 0, 1},   // degenerate chunk size
+		{100, 4096, 1},
+		{4096, 4096, 1},
+		{4097, 4096, 2},
+		{10, 4, 3}, // rounds up, never truncates the tail
+	}
+	for _, tc := range cases {
+		if got := numChunks(tc.m, tc.c); got != tc.want {
+			t.Errorf("numChunks(%d, %d) = %d, want %d", tc.m, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestSmpBcastClampsChunkToMessage(t *testing.T) {
+	// PR 8 sweep: a chunk larger than the message must not charge copy-ins
+	// past the message's end — the prediction equals the single-chunk one.
+	c := cfg(1, 16)
+	if got, want := smpBcast(c, 100, 4096, true), smpBcast(c, 100, 100, true); got != want {
+		t.Errorf("smpBcast(100B, 4KB chunk) = %v, want the single-chunk %v", got, want)
+	}
+	if got := smpBcast(c, 0, 4096, true); got != 0 {
+		t.Errorf("smpBcast of zero bytes = %v, want 0", got)
+	}
+}
+
+func TestBcastChargesTailNotFullChunk(t *testing.T) {
+	// A message one byte past a chunk boundary adds one short tail chunk,
+	// not a full extra chunk: the increment must be far below a full
+	// chunk's pipeline stage.
+	c := cfg(8, 16)
+	m := 2 * c.SRMLargeChunk // > SRMBcastBufSize: large chunking, 2 chunks
+	base, bumped := Bcast(c, m), Bcast(c, m+1)
+	fullStage := Bcast(c, m+c.SRMLargeChunk) - base
+	if bumped <= base {
+		t.Errorf("Bcast(%d) = %v, want > Bcast(%d) = %v", m+1, bumped, m, base)
+	}
+	if bumped-base > fullStage/2 {
+		t.Errorf("one tail byte costs %v, a full chunk costs %v; tail rounding is wrong",
+			bumped-base, fullStage)
+	}
+}
+
+func TestSingleTaskIsLocalCopy(t *testing.T) {
+	// P() == 1: reduce and allreduce degenerate to one local operand copy.
+	c := cfg(1, 1)
+	for _, m := range []int{0, 8, 5000, 1 << 20} {
+		if got, want := Reduce(c, m), cp(c, m); got != want {
+			t.Errorf("Reduce(1x1, %d) = %v, want cp %v", m, got, want)
+		}
+		if got, want := Allreduce(c, m), cp(c, m); got != want {
+			t.Errorf("Allreduce(1x1, %d) = %v, want cp %v", m, got, want)
+		}
+	}
+}
+
+func TestDegenerateShapesFinite(t *testing.T) {
+	// The PR 8 sweep's regression surface: 1 node, 1 task per node, and
+	// sizes that are not multiples of any chunk size must all predict
+	// positive, finite, monotone-friendly times.
+	for _, shape := range []struct{ n, tpn int }{{1, 1}, {1, 16}, {4, 1}, {3, 2}} {
+		c := cfg(shape.n, shape.tpn)
+		for _, m := range []int{0, 1, 7, 5000, 100001, (1 << 20) + 13} {
+			for name, v := range map[string]float64{
+				"Bcast": Bcast(c, m), "Reduce": Reduce(c, m), "Allreduce": Allreduce(c, m),
+			} {
+				if !(v >= 0) || v > 1e9 {
+					t.Errorf("%s(%dx%d, %d) = %v", name, shape.n, shape.tpn, m, v)
+				}
+			}
+		}
+	}
+}
+
 // Property: all predictions are positive and finite for any valid shape.
 func TestPropPredictionsPositive(t *testing.T) {
 	f := func(nRaw, tRaw uint8, mRaw uint32) bool {

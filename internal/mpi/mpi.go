@@ -222,7 +222,7 @@ func (r *Rank) sendNetEager(p *sim.Proc, target *Rank, tag int, data []byte) {
 	m.ChargeCopy(p, r.node, len(data)) // staging copy into the comm subsystem
 	m.Stats.AddPlainCopy(len(data))
 	p.Sleep(m.Cfg.SendOverhead)
-	_, arrival := m.NetInject(r.node, len(data)+headerBytes)
+	_, arrival := m.NetInjectTo(r.node, target.node, len(data)+headerBytes)
 	msg := &message{kind: eagerNet, src: r.rank, tag: tag, size: len(data), data: owned}
 	m.Env.At(arrival, func() { target.arrive(msg) })
 }
@@ -240,7 +240,7 @@ func (r *Rank) sendNetRndv(p *sim.Proc, target *Rank, tag int, data []byte) {
 		origin:   r,
 	}
 	p.Sleep(m.Cfg.SendOverhead) // RTS
-	_, arrival := m.NetInject(r.node, headerBytes)
+	_, arrival := m.NetInjectTo(r.node, target.node, headerBytes)
 	m.Env.At(arrival, func() { target.arrive(msg) })
 	p.Wait(msg.cts)
 	p.Sleep(m.Cfg.SendOverhead)
@@ -249,7 +249,7 @@ func (r *Rank) sendNetRndv(p *sim.Proc, target *Rank, tag int, data []byte) {
 	// though the simulated delivery lands one wire latency later.
 	snap := m.Buffers.Get(len(msg.payload))
 	copy(snap, msg.payload)
-	injectEnd, dataArrival := m.NetInject(r.node, msg.size)
+	injectEnd, dataArrival := m.NetInjectTo(r.node, target.node, msg.size)
 	m.Env.At(dataArrival, func() {
 		copy(msg.req.buf[:msg.size], snap) // DMA straight into the user buffer
 		m.Buffers.Put(snap)                // the DMA was the snapshot's only read
@@ -348,7 +348,7 @@ func (r *Rank) consume(p *sim.Proc, msg *message, buf []byte) Status {
 	case rndvNet:
 		msg.req.buf = buf
 		p.Sleep(m.Cfg.SendOverhead) // CTS
-		_, arrival := m.NetInject(r.node, headerBytes)
+		_, arrival := m.NetInjectTo(r.node, msg.origin.node, headerBytes)
 		m.Env.At(arrival, msg.cts.Trigger)
 		p.Wait(msg.dataDone)
 	}

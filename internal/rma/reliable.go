@@ -44,8 +44,16 @@ func (d *Domain) EnableReliable(ackTimeout, backoffCap sim.Time) {
 	if ackTimeout <= 0 {
 		// A generous RTT bound: two wire latencies plus the worst-case
 		// delivery cost at the target and packet overheads, times four.
-		ackTimeout = 4 * (2*cfg.NetLatency + cfg.InterruptCost + cfg.RecvOverhead +
-			cfg.StarvePenalty + 2*cfg.NetPktOverhead)
+		// On a hierarchical topology the bound uses the slowest tier so
+		// clean cross-tier traffic never retransmits spuriously.
+		maxLat, maxPkt := cfg.MaxNetLatency(), cfg.NetPktOverhead
+		for _, t := range cfg.Tiers {
+			if t.PktOverhead > maxPkt {
+				maxPkt = t.PktOverhead
+			}
+		}
+		ackTimeout = 4 * (2*maxLat + cfg.InterruptCost + cfg.RecvOverhead +
+			cfg.StarvePenalty + 2*maxPkt)
 	}
 	if backoffCap <= 0 {
 		backoffCap = 16 * ackTimeout
@@ -74,7 +82,9 @@ func (d *Domain) wirePut(src, target *Endpoint, par int, dst, snap []byte, origi
 	}
 	m := d.m
 	tr := m.Env.Trace
-	injectEnd, arrival := m.NetInject(src.Node, len(snap))
+	injectEnd, arrival := m.NetInjectTo(src.Node, target.Node, len(snap))
+	wireLat := m.Cfg.NetLatencyOf(src.Node, target.Node)
+	ackLat := m.Cfg.NetLatencyOf(target.Node, src.Node)
 	g := -1
 	if tr != nil {
 		g = tr.NewGroup()
@@ -114,9 +124,9 @@ func (d *Domain) wirePut(src, target *Endpoint, par int, dst, snap []byte, origi
 			}
 			if compl != nil {
 				if tr != nil {
-					tr.Add(g, par, trace.ClassPutAck, "put:ack", 0, m.Env.Now(), m.Env.Now()+m.Cfg.NetLatency)
+					tr.Add(g, par, trace.ClassPutAck, "put:ack", 0, m.Env.Now(), m.Env.Now()+ackLat)
 				}
-				m.Env.After(m.Cfg.NetLatency, func() { compl.Incr(1) })
+				m.Env.After(ackLat, func() { compl.Incr(1) })
 			}
 		})
 	}
@@ -125,9 +135,9 @@ func (d *Domain) wirePut(src, target *Endpoint, par int, dst, snap []byte, origi
 		// The duplicate takes one extra wire latency and is delivered in
 		// full — unreliable mode has no dedup, so counters double-fire.
 		if tr != nil {
-			tr.Add(g, par, trace.ClassPutWire, "put:dup", int64(len(snap)), injectEnd, arrival+v.Delay+m.Cfg.NetLatency)
+			tr.Add(g, par, trace.ClassPutWire, "put:dup", int64(len(snap)), injectEnd, arrival+v.Delay+wireLat)
 		}
-		m.Env.At(arrival+v.Delay+m.Cfg.NetLatency, deliver)
+		m.Env.At(arrival+v.Delay+wireLat, deliver)
 	}
 }
 
@@ -175,7 +185,7 @@ func (d *Domain) reliablePut(src, target *Endpoint, par int, dst, snap []byte, o
 		// The adapter acks from firmware on arrival (it does not wait for
 		// the interrupt-level delivery), so retransmits stop as soon as
 		// the data is safely at the target node.
-		_, ackArrival := m.NetInject(target.Node, 0)
+		_, ackArrival := m.NetInjectTo(target.Node, src.Node, 0)
 		if m.Faults != nil && m.Faults.AckDrop(target.Rank, src.Rank) {
 			if tr != nil {
 				tr.Add(g, par, trace.ClassPutAck, "put:ack:drop", 0, m.Env.Now(), ackArrival)
@@ -196,9 +206,10 @@ func (d *Domain) reliablePut(src, target *Endpoint, par int, dst, snap []byte, o
 		})
 	}
 
+	wireLat := m.Cfg.NetLatencyOf(src.Node, target.Node)
 	var attempt func(try int)
 	attempt = func(try int) {
-		injectEnd, arrival := m.NetInject(src.Node, len(snap))
+		injectEnd, arrival := m.NetInjectTo(src.Node, target.Node, len(snap))
 		if tr != nil {
 			tr.Add(g, par, trace.ClassPutInject, "put:inject", int64(len(snap)), m.Env.Now(), injectEnd)
 		}
@@ -221,9 +232,9 @@ func (d *Domain) reliablePut(src, target *Endpoint, par int, dst, snap []byte, o
 			m.Env.At(arrival+v.Delay, handleArrival)
 			if v.Dup {
 				if tr != nil {
-					tr.Add(g, par, trace.ClassPutWire, "put:dup", int64(len(snap)), injectEnd, arrival+v.Delay+m.Cfg.NetLatency)
+					tr.Add(g, par, trace.ClassPutWire, "put:dup", int64(len(snap)), injectEnd, arrival+v.Delay+wireLat)
 				}
-				m.Env.At(arrival+v.Delay+m.Cfg.NetLatency, handleArrival)
+				m.Env.At(arrival+v.Delay+wireLat, handleArrival)
 			}
 		}
 		// Retransmit on ack timeout, doubling up to the backoff cap.

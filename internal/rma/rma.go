@@ -297,7 +297,8 @@ func (ep *Endpoint) putRemote(target *Endpoint, par int, dst, src []byte, origin
 		ep.dom.wirePut(ep, target, par, dst, snap, origin, tgt, compl)
 		return
 	}
-	injectEnd, arrival := m.NetInject(ep.Node, len(src))
+	injectEnd, arrival := m.NetInjectTo(ep.Node, target.Node, len(src))
+	ackLat := m.Cfg.NetLatencyOf(target.Node, ep.Node)
 	g := -1
 	if tr != nil {
 		g = tr.NewGroup()
@@ -317,9 +318,9 @@ func (ep *Endpoint) putRemote(target *Endpoint, par int, dst, src []byte, origin
 			if compl != nil {
 				// Completion is acknowledged back to the origin over the wire.
 				if tr != nil {
-					tr.Add(g, par, trace.ClassPutAck, "put:ack", 0, m.Env.Now(), m.Env.Now()+m.Cfg.NetLatency)
+					tr.Add(g, par, trace.ClassPutAck, "put:ack", 0, m.Env.Now(), m.Env.Now()+ackLat)
 				}
-				m.Env.After(m.Cfg.NetLatency, func() { compl.Incr(1) })
+				m.Env.After(ackLat, func() { compl.Incr(1) })
 			}
 		})
 	})
@@ -447,7 +448,7 @@ func (ep *Endpoint) AM(p *sim.Proc, target *Endpoint, payload []byte, handler fu
 		handler(payload)
 		return
 	}
-	_, arrival := m.NetInject(ep.Node, len(payload))
+	_, arrival := m.NetInjectTo(ep.Node, target.Node, len(payload))
 	m.Env.At(arrival, func() {
 		target.deliver(-1, -1, func() {
 			m.Env.After(m.Cfg.AMHandlerCost, func() { handler(payload) })
@@ -475,10 +476,10 @@ func (ep *Endpoint) Get(p *sim.Proc, target *Endpoint, dst, src []byte, compl *C
 		return
 	}
 
-	_, reqArrival := m.NetInject(ep.Node, 0)
+	_, reqArrival := m.NetInjectTo(ep.Node, target.Node, 0)
 	m.Env.At(reqArrival, func() {
 		target.deliver(-1, -1, func() {
-			_, replyArrival := m.NetInject(target.Node, len(src))
+			_, replyArrival := m.NetInjectTo(target.Node, ep.Node, len(src))
 			m.Env.At(replyArrival, func() {
 				copy(dst, src)
 				if compl != nil {
@@ -549,11 +550,11 @@ func (ep *Endpoint) Rmw(p *sim.Proc, w *Word, op RmwOp, operand, cmp int64) int6
 		return prev
 	}
 	done := ep.dom.NewCounter(0)
-	_, reqArrival := m.NetInject(ep.Node, headerWord)
+	_, reqArrival := m.NetInjectTo(ep.Node, w.Owner.Node, headerWord)
 	m.Env.At(reqArrival, func() {
 		w.Owner.deliver(-1, -1, func() {
 			apply()
-			_, replyArrival := m.NetInject(w.Owner.Node, headerWord)
+			_, replyArrival := m.NetInjectTo(w.Owner.Node, ep.Node, headerWord)
 			m.Env.At(replyArrival, func() { done.Incr(1) })
 		})
 	})

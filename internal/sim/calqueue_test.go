@@ -115,6 +115,43 @@ func TestCalQueueOverflowRollover(t *testing.T) {
 	}
 }
 
+func TestCalQueueYearBoundaryRollover(t *testing.T) {
+	// A deadline landing exactly on the first day past the current year
+	// (t = calInitBuckets * calWidth, day == len(buckets) with curDay == 0)
+	// sits on the >= boundary of the push overflow check. It must take the
+	// overflow path — its day aliases bucket 0 under the mask, and a
+	// calendar landing there would make scan find it a full year early.
+	q := newCalQueue()
+	boundary := Time(calInitBuckets) * calWidth // day 1024: exactly one year out
+	a := &item{t: boundary - calWidth, seq: 0}  // day 1023: last bucket of year 0
+	b := &item{t: boundary, seq: 1}
+	q.push(a)
+	q.push(b)
+	if q.n != 1 || len(q.overflow) != 1 {
+		t.Fatalf("calendar holds %d, overflow %d; the boundary item must overflow", q.n, len(q.overflow))
+	}
+	// Popping a advances curDay to 1023; the boundary item now fits the
+	// year window and must migrate into the wraparound bucket (1024 & mask
+	// == 0) without perturbing order.
+	if got := q.pop(); got != a {
+		t.Fatalf("pop = (t=%v seq=%d), want the day-1023 item", got.t, got.seq)
+	}
+	if len(q.overflow) != 0 {
+		t.Fatal("boundary item did not migrate into the calendar at rollover")
+	}
+	// A later push into the same wrapped bucket must not overtake it.
+	c := &item{t: boundary + 1, seq: 2}
+	q.push(c)
+	for _, want := range []*item{b, c} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop = (t=%v seq=%d), want (t=%v seq=%d)", got.t, got.seq, want.t, want.seq)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after draining", q.Len())
+	}
+}
+
 func TestCalQueuePeekDoesNotAdvanceClock(t *testing.T) {
 	// RunUntil peeks at the queue head to compare against its time limit. A
 	// peek that committed the calendar clock to a far-future head would let a

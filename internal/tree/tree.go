@@ -1,15 +1,17 @@
 // Package tree builds the communication trees used by collective
 // operations — binomial (distance power-of-two), binary, generalized
-// Fibonacci, and flat — and embeds them into an SMP cluster the way the
-// paper does (§2.1, Figure 1): an inter-node tree over one master task per
-// node, plus an intra-node tree per SMP node. With equal tasks per node the
-// embedding does not increase the tree height, because
+// Fibonacci, flat, multilevel (Karonis-style, hierarchy-aware; see NewHier)
+// and Bine (negabinary distances) — and embeds them into an SMP cluster the
+// way the paper does (§2.1, Figure 1): an inter-node tree over one master
+// task per node, plus an intra-node tree per SMP node. With equal tasks per
+// node the embedding does not increase the tree height, because
 // ceil(log2 P) >= ceil(log2 n) + ceil(log2 p).
 package tree
 
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -19,8 +21,10 @@ type Kind int
 const (
 	Binomial Kind = iota // distance power-of-two; best inter-node shape (§2.1)
 	Binary
-	Fibonacci // generalized Fibonacci proportions (postal-model trees [5])
-	Flat      // root is parent of everyone; the paper's SMP barrier shape
+	Fibonacci  // generalized Fibonacci proportions (postal-model trees [5])
+	Flat       // root is parent of everyone; the paper's SMP barrier shape
+	Multilevel // grid-aware trees in the style of Karonis et al.; see NewHier
+	Bine       // negabinary-distance trees in the style of De Sensi et al.
 )
 
 // String returns the kind name.
@@ -34,8 +38,23 @@ func (k Kind) String() string {
 		return "fibonacci"
 	case Flat:
 		return "flat"
+	case Multilevel:
+		return "multilevel"
+	case Bine:
+		return "bine"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind is the inverse of String. It returns an error for unknown names,
+// so persisted decision tables fail loudly rather than silently falling back.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{Binomial, Binary, Fibonacci, Flat, Multilevel, Bine} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("tree: unknown kind %q", s)
 }
 
 // Tree is a rooted spanning tree over vertices 0..N-1.
@@ -113,10 +132,191 @@ func New(kind Kind, n, root int) Tree {
 		for v := 1; v < n; v++ {
 			link(0, v)
 		}
+	case Multilevel:
+		// Without hierarchy information a multilevel tree degenerates to a
+		// single group, i.e. the binomial shape. Use NewHier for grouping.
+		return New(Binomial, n, root)
+	case Bine:
+		linkParents(bineParents(n), link)
 	default:
 		panic(fmt.Sprintf("tree: unknown kind %d", int(kind)))
 	}
 	return t
+}
+
+// bineParents returns the relative-rank parent array of a Bine tree
+// (De Sensi et al.): a vertex's parent clears the lowest set digit of its
+// negabinary expansion, so tree distances alternate direction
+// (+1, -2, +4, -8, ...) and deep edges stay short on hierarchical layouts.
+// For sizes that are not a power of two, ranks at or above the largest
+// power of two t attach binomial-style to rank v-t — a deterministic
+// adaptation that keeps depth within ceil(log2 n) + 1.
+func bineParents(n int) []int {
+	par := make([]int, n)
+	par[0] = -1
+	t := 1
+	for t<<1 <= n {
+		t <<= 1
+	}
+	for v := 1; v < n; v++ {
+		if v >= t {
+			par[v] = v - t
+			continue
+		}
+		// Negabinary digit extraction: for v in [1, t) with t a power of
+		// two, the map digits -> sum b_i*(-2)^i mod t is a bijection, and
+		// the low digits of the plain integer expansion coincide with the
+		// mod-t representation. Clear the lowest set digit.
+		x, pow := v, 1
+		for x&1 == 0 {
+			x /= -2 // exact: x is even
+			pow *= -2
+		}
+		par[v] = ((v-pow)%t + t) % t
+	}
+	return par
+}
+
+// linkParents links a relative-rank parent array through link, ordering each
+// vertex's children largest subtree first (ties: smaller relative rank) to
+// match the binomial pipelining convention.
+func linkParents(par []int, link func(parentRel, childRel int)) {
+	n := len(par)
+	kids := make([][]int, n)
+	root := -1
+	for v, p := range par {
+		if p < 0 {
+			root = v
+			continue
+		}
+		kids[p] = append(kids[p], v)
+	}
+	size := make([]int, n)
+	var measure func(v int) int
+	measure = func(v int) int {
+		s := 1
+		for _, c := range kids[v] {
+			s += measure(c)
+		}
+		size[v] = s
+		return s
+	}
+	measure(root)
+	for v := 0; v < n; v++ {
+		cs := append([]int(nil), kids[v]...)
+		sort.Slice(cs, func(i, j int) bool {
+			if size[cs[i]] != size[cs[j]] {
+				return size[cs[i]] > size[cs[j]]
+			}
+			return cs[i] < cs[j]
+		})
+		for _, c := range cs {
+			link(v, c)
+		}
+	}
+}
+
+// NewHier builds a topology-aware tree over n = len(ids) vertices rooted at
+// the vertex index root. ids[i] is vertex i's physical node id; spans lists
+// the hierarchy group widths in node-id units, innermost first (spans[0] =
+// nodes per leaf switch, spans[1] = nodes per rack group, ...). Vertices
+// whose ids fall in the same group at every level are "close".
+//
+// For Multilevel the construction follows Karonis et al.: at the outermost
+// level one leader per group joins a binomial tree over the leaders (so each
+// group pays exactly one edge crossing that level), then the construction
+// recurses inside each group. The root leads its own group at every level.
+// Any other kind ignores the topology and defers to New.
+func NewHier(kind Kind, ids []int, root int, spans []int) Tree {
+	n := len(ids)
+	if n < 1 {
+		panic(fmt.Sprintf("tree: NewHier over %d vertices", n))
+	}
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("tree: root %d out of range [0,%d)", root, n))
+	}
+	if kind != Multilevel || len(spans) == 0 || n == 1 {
+		return New(kind, n, root)
+	}
+	t := Tree{N: n, Root: root, Parent: make([]int, n), Children: make([][]int, n)}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	t.buildLevel(all, root, ids, spans, len(spans)-1)
+	return t
+}
+
+// buildLevel wires one hierarchy level: group idxs by spans[level], binomial
+// over the group leaders, then recurse inside each group. Below level 0 the
+// remaining vertices share a leaf switch and get a plain binomial tree.
+func (t *Tree) buildLevel(idxs []int, root int, ids, spans []int, level int) {
+	if level < 0 || len(idxs) == 1 {
+		t.binomialOver(rootFirst(idxs, root))
+		return
+	}
+	span := spans[level]
+	if span < 1 {
+		span = 1
+	}
+	groups := make(map[int][]int)
+	var keys []int
+	for _, ix := range idxs {
+		g := ids[ix] / span
+		if _, ok := groups[g]; !ok {
+			keys = append(keys, g)
+		}
+		groups[g] = append(groups[g], ix)
+	}
+	sort.Ints(keys)
+	rootG := ids[root] / span
+	leaders := []int{root}
+	for _, g := range keys {
+		if g != rootG {
+			leaders = append(leaders, groups[g][0])
+		}
+	}
+	if len(leaders) > 1 {
+		t.binomialOver(leaders)
+	}
+	t.buildLevel(groups[rootG], root, ids, spans, level-1)
+	for _, g := range keys {
+		if g != rootG {
+			t.buildLevel(groups[g], groups[g][0], ids, spans, level-1)
+		}
+	}
+}
+
+// binomialOver links list in a binomial pattern over list positions, with
+// list[0] as the subtree root (which is left unlinked itself).
+func (t *Tree) binomialOver(list []int) {
+	n := len(list)
+	for v := 0; v < n; v++ {
+		limit := v & (-v)
+		for mask := highBit(n - 1); mask > 0; mask >>= 1 {
+			if (limit == 0 || mask < limit) && v+mask < n && v&mask == 0 {
+				p, c := list[v], list[v+mask]
+				t.Parent[c] = p
+				t.Children[p] = append(t.Children[p], c)
+			}
+		}
+	}
+}
+
+// rootFirst returns root followed by the remaining entries in their given
+// (ascending) order.
+func rootFirst(idxs []int, root int) []int {
+	out := make([]int, 0, len(idxs))
+	out = append(out, root)
+	for _, ix := range idxs {
+		if ix != root {
+			out = append(out, ix)
+		}
+	}
+	return out
 }
 
 func highBit(x int) int {
@@ -216,7 +416,12 @@ func (t Tree) Rounds() int {
 }
 
 // Log2Ceil returns ceil(log2(n)) for n >= 1; the binomial round count (eq. 1).
+// Degenerate sizes n <= 0 (an empty hierarchy level, a 1-node "inter" tree's
+// peer count) return 0 rather than looping or going negative.
 func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
 	h := 0
 	for 1<<h < n {
 		h++
@@ -225,7 +430,11 @@ func Log2Ceil(n int) int {
 }
 
 // Log2Floor returns floor(log2(n)) for n >= 1; the binomial tree depth.
+// As with Log2Ceil, n <= 0 clamps to 0.
 func Log2Floor(n int) int {
+	if n <= 1 {
+		return 0
+	}
 	h := 0
 	for 1<<(h+1) <= n {
 		h++

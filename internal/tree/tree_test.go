@@ -150,10 +150,140 @@ func TestLog2Ceil(t *testing.T) {
 
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{Binomial: "binomial", Binary: "binary",
-		Fibonacci: "fibonacci", Flat: "flat", Kind(9): "Kind(9)"} {
+		Fibonacci: "fibonacci", Flat: "flat", Multilevel: "multilevel",
+		Bine: "bine", Kind(9): "Kind(9)"} {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
 		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Binomial, Binary, Fibonacci, Flat, Multilevel, Bine} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("quadtree"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+}
+
+func TestLog2DegenerateClamps(t *testing.T) {
+	// PR 8 sweep: before the guard, n <= 0 looped forever (Log2Ceil) or
+	// returned a bogus height; both must clamp to 0.
+	for _, n := range []int{0, -1, -64} {
+		if got := Log2Ceil(n); got != 0 {
+			t.Errorf("Log2Ceil(%d) = %d, want 0", n, got)
+		}
+		if got := Log2Floor(n); got != 0 {
+			t.Errorf("Log2Floor(%d) = %d, want 0", n, got)
+		}
+	}
+}
+
+func TestBineSmall(t *testing.T) {
+	// n = 8 negabinary parents: clearing the lowest set digit of the
+	// (-2)-ary expansion gives parent[1 2 3 4 5 6 7] = [0 4 2 0 4 0 6].
+	tr := New(Bine, 8, 0)
+	wantPar := []int{-1, 0, 4, 2, 0, 4, 0, 6}
+	for v, want := range wantPar {
+		if tr.Parent[v] != want {
+			t.Errorf("bine parent[%d] = %d, want %d", v, tr.Parent[v], want)
+		}
+	}
+	// Children ordered largest subtree first: 0 -> [4 6 1].
+	if fmt.Sprint(tr.Children[0]) != "[4 6 1]" {
+		t.Errorf("bine children of 0 = %v, want [4 6 1]", tr.Children[0])
+	}
+}
+
+func TestBineValidAndShallow(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 24, 31, 32, 63, 64, 100, 127, 128, 200, 256} {
+		tr := New(Bine, n, 0)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("bine(%d): %v", n, err)
+		}
+		if h, lim := tr.Height(), Log2Ceil(n)+1; h > lim {
+			t.Errorf("bine height(%d) = %d, want <= %d", n, h, lim)
+		}
+	}
+}
+
+func TestMultilevelWithoutSpansIsBinomial(t *testing.T) {
+	a, b := New(Multilevel, 12, 3), New(Binomial, 12, 3)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("Multilevel without hierarchy info must fall back to binomial")
+	}
+}
+
+// crossEdges counts, per group of ids at the given span, the tree edges
+// whose endpoints lie in different groups, charged to the child's group.
+func crossEdges(tr Tree, ids []int, span int) map[int]int {
+	cross := make(map[int]int)
+	for v := 0; v < tr.N; v++ {
+		p := tr.Parent[v]
+		if p < 0 {
+			continue
+		}
+		if ids[v]/span != ids[p]/span {
+			cross[ids[v]/span]++
+		}
+	}
+	return cross
+}
+
+func TestNewHierMultilevelOneCrossEdgePerGroup(t *testing.T) {
+	// The Karonis property: each non-root group pays exactly one edge
+	// crossing each hierarchy level, so uplink traffic cannot be amplified
+	// by the tree shape. Exercise non-power-of-two groups and a non-zero
+	// root, at one and two levels.
+	cases := []struct {
+		n     int
+		spans []int
+		root  int
+	}{
+		{6, []int{2}, 0}, {12, []int{3}, 5}, {12, []int{3, 6}, 0},
+		{24, []int{3, 6}, 17}, {7, []int{3}, 2}, {16, []int{4, 8}, 9},
+	}
+	for _, c := range cases {
+		ids := make([]int, c.n)
+		for i := range ids {
+			ids[i] = i
+		}
+		tr := NewHier(Multilevel, ids, c.root, c.spans)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("multilevel n=%d spans=%v: %v", c.n, c.spans, err)
+			continue
+		}
+		for _, span := range c.spans {
+			rootG := ids[c.root] / span
+			for g, k := range crossEdges(tr, ids, span) {
+				if g == rootG {
+					t.Errorf("n=%d spans=%v span=%d: root group %d has %d inbound cross edges, want 0",
+						c.n, c.spans, span, g, k)
+				} else if k != 1 {
+					t.Errorf("n=%d spans=%v span=%d: group %d has %d inbound cross edges, want 1",
+						c.n, c.spans, span, g, k)
+				}
+			}
+		}
+	}
+}
+
+func TestNewHierNonMultilevelDefersToNew(t *testing.T) {
+	ids := []int{0, 1, 2, 3, 4, 5}
+	a, b := NewHier(Binomial, ids, 1, []int{2}), New(Binomial, 6, 1)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("NewHier with a non-multilevel kind must match New")
+	}
+}
+
+func TestNewHierSingleton(t *testing.T) {
+	tr := NewHier(Multilevel, []int{7}, 0, []int{2, 4})
+	if tr.N != 1 || tr.Validate() != nil {
+		t.Errorf("singleton multilevel tree invalid: %+v", tr)
 	}
 }
 
@@ -175,7 +305,7 @@ func TestPropAllKindsValid(t *testing.T) {
 	f := func(nRaw, rootRaw uint16, kRaw uint8) bool {
 		n := int(nRaw)%300 + 1
 		root := int(rootRaw) % n
-		k := Kind(kRaw % 4)
+		k := Kind(kRaw % 6)
 		tr := New(k, n, root)
 		return tr.Validate() == nil && tr.N == n && tr.Root == root
 	}
@@ -301,7 +431,7 @@ func FuzzNew(f *testing.F) {
 			n = 1
 		}
 		root = ((root % n) + n) % n
-		tr := New(Kind(kindRaw%4), n, root)
+		tr := New(Kind(kindRaw%6), n, root)
 		if err := tr.Validate(); err != nil {
 			t.Fatal(err)
 		}

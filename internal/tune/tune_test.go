@@ -1,0 +1,149 @@
+package tune
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"srmcoll/internal/tree"
+)
+
+func sample() *Table {
+	return &Table{
+		Comment: "test table",
+		Entries: []TopoEntry{
+			{
+				Topo: "12x8/3/2/2",
+				Ops: map[string][]Rule{
+					"bcast":     {{MaxBytes: 512, Tree: "binomial"}, {MaxBytes: -1, Tree: "multilevel"}},
+					"allreduce": {{MaxBytes: -1, Tree: "bine"}},
+				},
+			},
+			{
+				Topo: "8x4/2/4",
+				Ops: map[string][]Rule{
+					"bcast": {{MaxBytes: -1, Tree: "binomial"}},
+				},
+			},
+		},
+	}
+}
+
+func TestDefaultTableLoads(t *testing.T) {
+	tbl := Default()
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The committed table must be non-trivial: at least one hierarchical
+	// entry where a topology-aware tree wins some size band (the PR's
+	// acceptance criterion rests on this).
+	aware := false
+	for _, e := range tbl.Entries {
+		for _, rules := range e.Ops {
+			for _, r := range rules {
+				if r.Tree == tree.Multilevel.String() || r.Tree == tree.Bine.String() {
+					aware = true
+				}
+			}
+		}
+	}
+	if !aware {
+		t.Error("committed default table never selects a topology-aware tree")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tbl := sample()
+	e := tbl.Topo("12x8/3/2/2")
+	if e == nil {
+		t.Fatal("Topo lookup failed")
+	}
+	cases := []struct {
+		op   string
+		size int
+		want tree.Kind
+		ok   bool
+	}{
+		{"bcast", 8, tree.Binomial, true},
+		{"bcast", 512, tree.Binomial, true}, // MaxBytes is inclusive
+		{"bcast", 513, tree.Multilevel, true},
+		{"bcast", 1 << 30, tree.Multilevel, true},
+		{"allreduce", 64, tree.Bine, true},
+		{"reduce", 64, 0, false}, // op not tuned
+	}
+	for _, c := range cases {
+		got, ok := e.Lookup(c.op, c.size)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Lookup(%q, %d) = %v, %v; want %v, %v", c.op, c.size, got, ok, c.want, c.ok)
+		}
+	}
+	if tbl.Topo("16x16") != nil {
+		t.Error("Topo returned an entry for an uncovered key")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Table)
+	}{
+		{"empty topo key", func(t *Table) { t.Entries[0].Topo = "" }},
+		{"duplicate topo", func(t *Table) { t.Entries[1].Topo = t.Entries[0].Topo }},
+		{"unknown tree", func(t *Table) { t.Entries[0].Ops["bcast"][0].Tree = "quadtree" }},
+		{"open-ended rule not last", func(t *Table) { t.Entries[0].Ops["bcast"][0].MaxBytes = -1 }},
+		{"non-increasing thresholds", func(t *Table) {
+			t.Entries[0].Ops["bcast"] = []Rule{
+				{MaxBytes: 512, Tree: "binomial"}, {MaxBytes: 512, Tree: "binary"},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tbl := sample()
+		tc.mut(tbl)
+		if err := tbl.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}
+
+func TestParseRejectsBadJSON(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Error("Parse accepted truncated JSON")
+	}
+	if _, err := Parse([]byte(`{"entries":[{"topo":"4x4","ops":{"bcast":[{"max_bytes":-1,"tree":"nope"}]}}]}`)); err == nil {
+		t.Error("Parse accepted an unknown tree name")
+	}
+}
+
+func TestMarshalDeterministicAndRoundTrips(t *testing.T) {
+	a, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Marshal is not deterministic")
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Error("Marshal output missing trailing newline")
+	}
+	// Entries come out sorted by topology key (lexicographically, so
+	// "12x8..." precedes "8x4...") regardless of input order.
+	if strings.Index(string(a), `"12x8/3/2/2"`) > strings.Index(string(a), `"8x4/2/4"`) {
+		t.Error("Marshal did not sort entries by topology key")
+	}
+	back, err := Parse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Error("Marshal/Parse does not round-trip byte-identically")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"srmcoll/internal/sim"
 	"srmcoll/internal/trace"
 	"srmcoll/internal/tree"
+	"srmcoll/internal/tune"
 )
 
 // Config describes the simulated cluster; see internal/machine for every
@@ -48,6 +49,18 @@ func ColonySP(nodes, tasksPerNode int) Config { return machine.ColonySP(nodes, t
 
 // ViaCluster returns a commodity VIA-class cluster preset.
 func ViaCluster(nodes, tasksPerNode int) Config { return machine.ViaCluster(nodes, tasksPerNode) }
+
+// HierColonySP returns a hierarchical ColonySP-based preset: leafNodes
+// nodes per leaf switch, then one slower tier per groupSizes entry (plus an
+// implied top tier when the explicit tiers do not span all nodes). See
+// machine.HierColonySP.
+func HierColonySP(nodes, tasksPerNode, leafNodes int, groupSizes ...int) Config {
+	return machine.HierColonySP(nodes, tasksPerNode, leafNodes, groupSizes...)
+}
+
+// ParseTopo parses a topology-shape spec "NxT[/leaf[/g1[/g2...]]]" (the
+// same canonical form Config.TopoKey prints) into a HierColonySP config.
+func ParseTopo(spec string) (Config, error) { return machine.ParseTopo(spec) }
 
 // Datatype is the element type of reduction buffers.
 type Datatype = dtype.Type
@@ -117,9 +130,11 @@ type Variant struct {
 
 // TreeKind values for Variant.InterTree.
 const (
-	Binomial  = tree.Binomial
-	Binary    = tree.Binary
-	Fibonacci = tree.Fibonacci
+	Binomial   = tree.Binomial
+	Binary     = tree.Binary
+	Fibonacci  = tree.Fibonacci
+	Multilevel = tree.Multilevel // hierarchy-aware (Karonis-style) tree
+	Bine       = tree.Bine       // negabinary-distance (De Sensi-style) tree
 )
 
 // FaultPlan describes deterministic fault injection for a run: seeded
@@ -226,18 +241,64 @@ type Cluster struct {
 	faults  FaultPlan
 	ft      FTConfig
 	tracing bool
+	tuned   *TuneTable
 }
 
 // NewCluster validates the configuration and returns a cluster handle.
+// The cluster dispatches SRM collectives through the committed autotuner
+// decision table by default (see SetTuning).
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Cluster{cfg: cfg}, nil
+	return &Cluster{cfg: cfg, tuned: DefaultTuning()}, nil
 }
 
-// SetVariant overrides SRM algorithm choices for subsequent runs.
+// SetVariant overrides SRM algorithm choices for subsequent runs. A
+// non-binomial InterTree is an explicit override: it wins over the tuned
+// decision table for every operation.
 func (cl *Cluster) SetVariant(v Variant) { cl.variant = v }
+
+// TuneTable is an autotuned (op, size, topology) -> tree decision table;
+// see internal/tune for the format and srmbench -tunejson to generate one.
+type TuneTable = tune.Table
+
+// DefaultTuning returns the decision table committed with the library,
+// generated by the autotuner over HierColonySP topology shapes.
+func DefaultTuning() *TuneTable { return tune.Default() }
+
+// ParseTuning decodes and validates a JSON decision table.
+func ParseTuning(data []byte) (*TuneTable, error) { return tune.Parse(data) }
+
+// SetTuning replaces the cluster's decision table for subsequent runs.
+// Passing nil disables tuned dispatch entirely — the escape hatch back to
+// the static Variant.InterTree selection. Topologies the table does not
+// name always fall back to Variant.InterTree, so flat-topology runs are
+// unaffected by tuning either way.
+func (cl *Cluster) SetTuning(t *TuneTable) { cl.tuned = t }
+
+// Tuning returns the cluster's current decision table (nil when disabled).
+func (cl *Cluster) Tuning() *TuneTable { return cl.tuned }
+
+// treeFor resolves the tuned per-operation tree selector for this cluster,
+// or nil when the static Variant.InterTree applies: tuning is enabled, the
+// variant does not override the tree, and the table covers this topology.
+func (cl *Cluster) treeFor() func(op string, size int) tree.Kind {
+	if cl.tuned == nil || cl.variant.InterTree != Binomial {
+		return nil
+	}
+	e := cl.tuned.Topo(cl.cfg.TopoKey())
+	if e == nil {
+		return nil
+	}
+	fallback := cl.variant.InterTree
+	return func(op string, size int) tree.Kind {
+		if k, ok := e.Lookup(op, size); ok {
+			return k
+		}
+		return fallback
+	}
+}
 
 // SetFaultPlan installs a fault plan for subsequent runs. The zero-value
 // plan restores the default fault-free path (bit-identical to not calling
@@ -780,6 +841,7 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 			TreeSMPBcst:    cl.variant.TreeSMPBcst,
 			BarrierSMPBcst: cl.variant.BarrierSMPBcst,
 			KeepInterrupts: cl.variant.KeepInterrupts,
+			TreeFor:        cl.treeFor(),
 		})}
 	case IBMMPI:
 		coll = baselineAdapter{baseline.New(m, baseline.IBM)}
