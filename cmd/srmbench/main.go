@@ -57,7 +57,9 @@ func main() {
 	chaosjson := flag.String("chaosjson", "",
 		"run the fault-tolerance chaos campaign and write the JSON report to this file")
 	ranks := flag.Int("ranks", 0,
-		"run one verified massive-rank allreduce on the state-machine engine at this many ranks")
+		"run one verified massive-rank collective on the state-machine engine at this many ranks")
+	ranksOp := flag.String("ranks-op", "allreduce",
+		"collective for -ranks: allreduce (scale core), bcast, or barrier (Task-native collectives)")
 	topo := flag.String("topo", "",
 		"hierarchical topology shape NxT[/leaf[/g1...]] (e.g. 12x8/3) for -fig crossover and -tunejson")
 	tunejson := flag.String("tunejson", "",
@@ -89,6 +91,14 @@ func main() {
 	}
 	if *ranks < 0 {
 		fmt.Fprintf(os.Stderr, "srmbench: -ranks must be >= 0, got %d\n", *ranks)
+		bad = true
+	}
+	validRanksOps := map[string]bool{"allreduce": true, "bcast": true, "barrier": true}
+	if !validRanksOps[*ranksOp] {
+		fmt.Fprintf(os.Stderr, "srmbench: unknown -ranks-op %q (want allreduce, bcast, or barrier)\n", *ranksOp)
+		bad = true
+	} else if *ranksOp != "allreduce" && *ranks == 0 {
+		fmt.Fprintln(os.Stderr, "srmbench: -ranks-op needs -ranks to set the rank count")
 		bad = true
 	}
 	if *topo != "" {
@@ -142,7 +152,7 @@ func main() {
 	}
 
 	if *ranks > 0 {
-		// Large-rank smoke: one verified allreduce on the state-machine
+		// Large-rank smoke: one verified collective on the state-machine
 		// engine. 8 tasks per node when the count allows, flat otherwise.
 		nodes, tpn := *ranks, 1
 		if *ranks%8 == 0 {
@@ -153,19 +163,73 @@ func main() {
 			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
 			os.Exit(1)
 		}
-		start := time.Now()
-		res, err := cl.ScaleAllreduce(srmcoll.ScaleOptions{Bytes: 64, Reps: 1, Verify: true})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
-			os.Exit(1)
+		switch *ranksOp {
+		case "allreduce":
+			start := time.Now()
+			res, err := cl.ScaleAllreduce(srmcoll.ScaleOptions{Bytes: 64, Reps: 1, Verify: true})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+				os.Exit(1)
+			}
+			wall := time.Since(start)
+			fmt.Printf("ranks %d (%d nodes x %d tasks) allreduce: sim %.1f us, %d events, wall %s, %.0f events/sec, %.0f proto bytes/rank, verified\n",
+				nodes*tpn, nodes, tpn, res.Time, res.Events, wall,
+				float64(res.Events)/wall.Seconds(), res.ProtoBytesPerRank())
+		case "bcast", "barrier":
+			// The ported Task-native collectives through the public CPS API:
+			// one state machine per rank, no goroutine stacks.
+			cl.SetEngine(srmcoll.EngineTasks)
+			const n = 64
+			bufs := make([][]byte, nodes*tpn)
+			for i := range bufs {
+				bufs[i] = make([]byte, n)
+			}
+			for j := range bufs[0] {
+				bufs[0][j] = byte(j + 1) // root payload for bcast
+			}
+			op := *ranksOp
+			start := time.Now()
+			res, err := cl.RunT(srmcoll.SRM, func(tc *srmcoll.TComm, done func()) {
+				fin := func(err error) {
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "srmbench: rank %d: %v\n", tc.Rank(), err)
+						os.Exit(1)
+					}
+					done()
+				}
+				if op == "barrier" {
+					tc.Barrier(fin)
+					return
+				}
+				tc.Bcast(bufs[tc.Rank()], 0, fin)
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+				os.Exit(1)
+			}
+			wall := time.Since(start)
+			verified := ""
+			if op == "bcast" {
+				for r, buf := range bufs {
+					for j := range buf {
+						if buf[j] != byte(j+1) {
+							fmt.Fprintf(os.Stderr, "srmbench: bcast rank %d byte %d = %d, want %d\n", r, j, buf[j], byte(j+1))
+							os.Exit(1)
+						}
+					}
+				}
+				verified = ", verified"
+			}
+			fmt.Printf("ranks %d (%d nodes x %d tasks) %s: sim %.1f us, %d events, wall %s, %.0f events/sec%s\n",
+				nodes*tpn, nodes, tpn, op, res.Time, res.Events, wall,
+				float64(res.Events)/wall.Seconds(), verified)
 		}
-		wall := time.Since(start)
-		fmt.Printf("ranks %d (%d nodes x %d tasks): sim %.1f us, %d events, wall %s, %.0f events/sec, %.0f proto bytes/rank, verified\n",
-			nodes*tpn, nodes, tpn, res.Time, res.Events, wall,
-			float64(res.Events)/wall.Seconds(), res.ProtoBytesPerRank())
 	}
 
 	if *benchjson != "" {
+		// The JSON report carries the full ranks trajectory, 1k through the
+		// 1,048,576-rank point (tests run the ladder only to 64k).
+		exp.SetDeepRanks(true)
 		rep := exp.RunPerf()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -119,7 +119,8 @@ type ftInterrupt struct{ failed []int }
 // it (the rank itself, or a request helper) and the communicator it runs
 // on. Registered operations are interrupted when a member is declared.
 type ftReg struct {
-	p      *sim.Proc
+	p      *sim.Proc // Procs engine: the process running the op
+	t      *sim.Task // Tasks engine: the task running the op (p nil)
 	c      *Comm
 	active bool
 }
@@ -143,7 +144,8 @@ type ftGather struct {
 type ftState struct {
 	env   *sim.Env
 	det   *sim.Detector
-	procs []*sim.Proc // rank processes
+	procs []*sim.Proc // rank processes (Procs engine)
+	tasks []*sim.Task // rank tasks (Tasks engine)
 	rs    *runState
 	cfg   FTConfig
 
@@ -159,7 +161,7 @@ type ftState struct {
 	unexpected []sim.ProcFailure // failures that are not plan crashes or their fallout
 }
 
-func newFTState(env *sim.Env, markDead func(int), procs []*sim.Proc, rs *runState, cfg FTConfig) *ftState {
+func newFTState(env *sim.Env, markDead func(int), n int, rs *runState, cfg FTConfig) *ftState {
 	if cfg.HeartbeatPeriod <= 0 {
 		cfg.HeartbeatPeriod = 50
 	}
@@ -168,12 +170,11 @@ func newFTState(env *sim.Env, markDead func(int), procs []*sim.Proc, rs *runStat
 	}
 	ft := &ftState{
 		env:      env,
-		procs:    procs,
 		rs:       rs,
 		cfg:      cfg,
 		markDead: markDead,
-		failed:   make([]bool, len(procs)),
-		crashed:  make([]bool, len(procs)),
+		failed:   make([]bool, n),
+		crashed:  make([]bool, n),
 		gathers:  make(map[string]*ftGather),
 		rounds:   make(map[string]map[int]int),
 	}
@@ -238,6 +239,10 @@ func (ft *ftState) declare(d int, diedAt float64) {
 	// failed rank. Registration order is deterministic, so so is this.
 	for _, reg := range ft.inflight {
 		if !reg.active || !reg.c.hasMember(d) {
+			continue
+		}
+		if reg.t != nil {
+			ft.env.InterruptTask(reg.t, ftInterrupt{failed: ft.failedIn(reg.c.memberList())})
 			continue
 		}
 		ft.env.Interrupt(reg.p, ftInterrupt{failed: ft.failedIn(reg.c.memberList())})

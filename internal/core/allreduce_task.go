@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// AllreduceT is Allreduce for the Task engine.
+func (s *SRM) AllreduceT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, kont func()) {
+	s.World().AllreduceT(t, rank, send, recv, dt, op, kont)
+}
+
+// AllreduceT combines the group members' send buffers into every member's
+// recv, then runs kont.
+func (g *Group) AllreduceT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, kont func()) {
+	ds := dataspec{dt: dt, op: op}
+	if err := ds.validate(len(send)); err != nil {
+		panic(err)
+	}
+	if len(recv) != len(send) {
+		panic(fmt.Sprintf("core: Allreduce recv %d bytes, want %d", len(recv), len(send)))
+	}
+	st, release := g.acquire(rank, func() any { return newAllreduceState(g, len(send), ds) })
+	a := st.(*allreduceState)
+	if a.size != len(send) || a.ds != ds {
+		panic(fmt.Sprintf("core: Allreduce mismatch at rank %d", rank))
+	}
+	a.runT(t, rank, send, recv, opDone(t, release, kont))
+}
+
+func (a *allreduceState) runT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	g := a.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if l != 0 {
+		// Workers contribute every chunk to the SMP reduce, then consume
+		// the distributed result.
+		a.rn[x].workerT(t, l, send, a.sp, a.ds, func() {
+			var step func(k int)
+			step = func(k int) {
+				if k >= len(a.sp) {
+					kont()
+					return
+				}
+				c := a.sp[k]
+				a.pub[x].ConsumeT(t, l, k, recv[c.off:c.off+c.n], func() { step(k + 1) })
+			}
+			step(0)
+		})
+		return
+	}
+	a.resBuf[x] = recv
+	a.resReady[x].Trigger()
+	ep := g.s.dom.Endpoint(rank)
+	enable := g.s.quietNetT(ep, a.size)
+	fin := func() {
+		enable()
+		kont()
+	}
+	if a.small {
+		a.masterSmallT(t, ep, x, send, recv, fin)
+	} else {
+		a.masterLargeT(t, ep, x, send, recv, fin)
+	}
+}
+
+// masterSmallT is masterSmall for the Task engine: SMP reduce, recursive
+// doubling between node masters, SMP broadcast of the result.
+func (a *allreduceState) masterSmallT(t *sim.Task, ep *rma.Endpoint, x int, send, recv []byte, kont func()) {
+	g := a.g
+	s := g.s
+	nn := len(g.lay.nodes)
+
+	// have/cur/combine are single-task sequential state, safe to capture.
+	have := false
+	cur := func() []byte {
+		if have {
+			return recv
+		}
+		return send
+	}
+	combine := func(src []byte, k func()) {
+		if a.size > 0 {
+			if have {
+				a.ds.acc(recv, src)
+			} else {
+				a.ds.into(recv, send, src)
+			}
+			have = true
+			s.combineChargeT(t, a.size, a.ds.dt.Size(), k)
+			return
+		}
+		have = true
+		k()
+	}
+
+	// Distribute the result on the node once the exchange is done.
+	publish := func() {
+		a.pub[x].PublishT(t, 0, recv, false, func() {
+			a.pub[x].waitConsumedT(t, 0, kont)
+		})
+	}
+
+	a.rn[x].masterChunkT(t, 0, recv, send, a.ds, func(h bool) {
+		have = h
+		if x >= a.pow {
+			// Fold out: hand the node partial to the peer, then receive the
+			// final result straight into recv.
+			peer := x - a.pow
+			ep.PutT(t, a.master(peer), a.foldSlot[peer], cur(), nil, a.foldArr[peer], nil, func() {
+				ep.WaitcntrT(t, a.resArr[x], 1, publish)
+			})
+			return
+		}
+		unfold := func() {
+			tail := func() {
+				if !have && a.size > 0 {
+					s.m.MemcpyT(t, g.lay.nodes[x], recv, send, publish) // single node, single task
+					return
+				}
+				publish()
+			}
+			if x+a.pow < nn {
+				// Return the full result to the folded-out node's recv buffer.
+				extra := x + a.pow
+				a.resReady[extra].WaitT(t, func() {
+					ep.PutT(t, a.master(extra), a.resBuf[extra], cur(), nil, a.resArr[extra], nil, tail)
+				})
+				return
+			}
+			tail()
+		}
+		var round func(r int)
+		round = func(r int) {
+			if r >= len(a.rdArr[x]) {
+				unfold()
+				return
+			}
+			partner := x ^ (1 << r)
+			ep.PutT(t, a.master(partner), a.rdSlot[partner][r], cur(),
+				nil, a.rdArr[partner][r], nil, func() {
+					ep.WaitcntrT(t, a.rdArr[x][r], 1, func() {
+						combine(a.rdSlot[x][r], func() { round(r + 1) })
+					})
+				})
+		}
+		if x+a.pow < nn {
+			ep.WaitcntrT(t, a.foldArr[x], 1, func() {
+				combine(a.foldSlot[x], func() { round(0) })
+			})
+			return
+		}
+		round(0)
+	})
+}
+
+// masterLargeT is masterLarge for the Task engine: the four-stage pipeline
+// of Figure 5, with the broadcast stages on a helper task.
+func (a *allreduceState) masterLargeT(t *sim.Task, ep *rma.Endpoint, x int, send, recv []byte, kont func()) {
+	g := a.g
+	s := g.s
+	atRoot := x == a.emb.inter.Root
+	interKids := a.emb.inter.Children[x]
+
+	// Broadcast-side helper.
+	s.m.Env.SpawnTask("srm-arb-", x, func(hp *sim.Task) {
+		if tr := s.m.Env.Trace; tr != nil {
+			// The helper gets its own timeline above the rank tracks so its
+			// broadcast-stage spans do not interleave with the reduce side.
+			ht := s.m.P() + ep.Rank
+			hp.SetTrack(ht)
+			tr.NameTrack(ht, "rank"+strconv.Itoa(ep.Rank)+"-bcast")
+		}
+		var hchunk func(k int)
+		hchunk = func(k int) {
+			if k >= len(a.sp) {
+				a.pub[x].waitConsumedT(hp, len(a.sp)-1, func() { a.helperDone[x].Trigger() })
+				return
+			}
+			c := a.sp[k]
+			bcast := func() {
+				src := recv[c.off : c.off+c.n]
+				var child func(i int)
+				child = func(i int) {
+					if i >= len(interKids) {
+						a.pub[x].PublishT(hp, k, src, false, func() { hchunk(k + 1) })
+						return
+					}
+					ch := interKids[i]
+					a.resReady[ch].WaitT(hp, func() {
+						dst := a.resBuf[ch][c.off : c.off+c.n]
+						ep.PutT(hp, a.master(ch), dst, src, nil, a.bArr[ch][k%2], nil, func() {
+							child(i + 1)
+						})
+					})
+				}
+				child(0)
+			}
+			if atRoot {
+				a.chunkDone.WaitGET(hp, k+1, bcast)
+				return
+			}
+			a.bArr[x][k%2].WaitValueT(hp, 1, bcast)
+		}
+		hchunk(0)
+	})
+
+	// Reduce side (same structure as reduceState.masterT, targeting recv).
+	var chunk func(k int)
+	chunk = func(k int) {
+		if k >= len(a.sp) {
+			a.helperDone[x].WaitT(t, kont)
+			return
+		}
+		c := a.sp[k]
+		tchunk := recv[c.off : c.off+c.n]
+		own := send[c.off : c.off+c.n]
+
+		finish := func(have bool) {
+			if !atRoot {
+				src := tchunk
+				if !have {
+					src = own
+				}
+				ep.WaitcntrT(t, a.credit[x], 1, func() {
+					parent := a.master(a.emb.inter.Parent[x])
+					ep.PutT(t, parent, a.pslot[x][k%2][:c.n], src, nil, a.arr[x][k%2], nil, func() {
+						chunk(k + 1)
+					})
+				})
+				return
+			}
+			done := func() {
+				a.chunkDone.Set(k + 1)
+				chunk(k + 1)
+			}
+			if !have && c.n > 0 {
+				s.m.MemcpyT(t, g.lay.nodes[x], tchunk, own, done)
+				return
+			}
+			done()
+		}
+
+		var child func(i int, have bool)
+		child = func(i int, have bool) {
+			if i >= len(interKids) {
+				finish(have)
+				return
+			}
+			ch := interKids[i]
+			ep.WaitcntrT(t, a.arr[ch][k%2], 1, func() {
+				slot := a.pslot[ch][k%2][:c.n]
+				next := func() {
+					if k+2 < len(a.sp) {
+						ep.PutZeroT(t, a.master(ch), a.credit[ch], func() { child(i+1, true) })
+						return
+					}
+					child(i+1, true)
+				}
+				if c.n > 0 {
+					if have {
+						a.ds.acc(tchunk, slot)
+					} else {
+						a.ds.into(tchunk, own, slot)
+					}
+					s.combineChargeT(t, c.n, a.ds.dt.Size(), next)
+					return
+				}
+				next()
+			})
+		}
+
+		a.rn[x].masterChunkT(t, k, tchunk, own, a.ds, func(have bool) {
+			child(0, have)
+		})
+	}
+	chunk(0)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/sim"
+)
+
+// AlltoallT is Alltoall for the Task engine.
+func (g *Group) AlltoallT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	if len(send) != len(recv) {
+		panic(fmt.Sprintf("core: Alltoall send %d / recv %d bytes", len(send), len(recv)))
+	}
+	if len(send)%max(g.Size(), 1) != 0 {
+		panic(fmt.Sprintf("core: Alltoall buffer %d not divisible by group size %d",
+			len(send), g.Size()))
+	}
+	blk := len(send) / g.Size()
+	st, release := g.acquire(rank, func() any { return newAlltoallState(g, blk) })
+	a := st.(*alltoallState)
+	if a.blk != blk {
+		panic(fmt.Sprintf("core: Alltoall mismatch at rank %d", rank))
+	}
+	fin := opDone(t, release, kont)
+	if a.direct {
+		a.runDirectT(t, rank, send, recv, fin)
+	} else {
+		a.runT(t, rank, send, recv, fin)
+	}
+}
+
+// AlltoallT is Group.AlltoallT over all ranks.
+func (s *SRM) AlltoallT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	s.World().AlltoallT(t, rank, send, recv, kont)
+}
+
+// runDirectT is runDirect for the Task engine.
+func (a *alltoallState) runDirectT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	g := a.g
+	s := g.s
+	gi := a.pos[rank]
+	P := len(g.lay.members)
+	blk := a.blk
+	node := g.lay.nodes[g.lay.ni[rank]]
+	a.recvBuf[gi] = recv
+	a.registered[gi].Trigger()
+	// Own block stays local.
+	s.m.MemcpyT(t, node, recv[gi*blk:(gi+1)*blk], send[gi*blk:(gi+1)*blk], func() {
+		ep := s.dom.Endpoint(rank)
+		var step func(n int)
+		step = func(n int) {
+			if n >= P {
+				ep.WaitcntrT(t, a.blkArr[gi], P-1, kont)
+				return
+			}
+			gj := (gi + n) % P
+			target := g.lay.members[gj]
+			a.registered[gj].WaitT(t, func() {
+				dst := a.recvBuf[gj][gi*blk : (gi+1)*blk]
+				src := send[gj*blk : (gj+1)*blk]
+				if g.s.m.NodeOf(target) == node {
+					s.m.MemcpyT(t, node, dst, src, func() {
+						a.blkArr[gj].Incr(1)
+						step(n + 1)
+					})
+					return
+				}
+				ep.PutT(t, s.dom.Endpoint(target), dst, src, nil, a.blkArr[gj], nil, func() {
+					step(n + 1)
+				})
+			})
+		}
+		step(1)
+	})
+}
+
+// runT is run for the Task engine (staged hierarchical exchange).
+func (a *alltoallState) runT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	g := a.g
+	s := g.s
+	x := g.lay.ni[rank]
+	li := g.lay.li[rank]
+	node := g.lay.nodes[x]
+	nn := len(g.lay.nodes)
+	blk := a.blk
+
+	// Phase 3: pick this member's column out of every inbound slab.
+	pick := func() {
+		a.ready[x].WaitForT(t, 1, func() {
+			var col func(y int)
+			col = func(y int) {
+				if y >= nn {
+					kont()
+					return
+				}
+				srcs := g.lay.local[y]
+				if blk == 0 || len(srcs) == 0 {
+					col(y + 1)
+					return
+				}
+				for lj, src := range srcs {
+					slab := a.in[x][y]
+					from := slab[(lj*len(g.lay.local[x])+li)*blk : (lj*len(g.lay.local[x])+li+1)*blk]
+					off := a.groupRank(src) * blk
+					copy(recv[off:off+blk], from)
+				}
+				s.m.ChargeCopyT(t, node, len(srcs)*blk, func() {
+					s.m.Stats.AddCopy(len(srcs) * blk)
+					col(y + 1)
+				})
+			}
+			col(0)
+		})
+	}
+
+	exchange := func() {
+		a.staged[x].Flag(li).Set(1)
+		if rank != g.lay.local[x][0] {
+			pick()
+			return
+		}
+		// Master: wait for local staging, exchange slabs pairwise.
+		a.staged[x].WaitAllT(t, 1, func() {
+			ep := s.dom.Endpoint(rank)
+			var put func(d int)
+			put = func(d int) {
+				if d >= nn {
+					// The node's own slab transfers through shared memory.
+					a.in[x][x] = a.out[x][x]
+					var wait func(d int)
+					wait = func(d int) {
+						if d >= nn {
+							a.ready[x].Set(1)
+							pick()
+							return
+						}
+						ep.WaitcntrT(t, a.arr[x][(x+d)%nn], 1, func() { wait(d + 1) })
+					}
+					wait(1)
+					return
+				}
+				y := (x + d) % nn
+				dst := a.in[y][x]
+				ep.PutT(t, s.dom.Endpoint(g.lay.local[y][0]), dst, a.out[x][y],
+					nil, a.arr[y][x], nil, func() { put(d + 1) })
+			}
+			put(1)
+		})
+	}
+
+	// Phase 1: stage outgoing blocks, grouped by destination node.
+	var stage func(y int)
+	stage = func(y int) {
+		if y >= nn {
+			exchange()
+			return
+		}
+		dsts := g.lay.local[y]
+		row := a.out[x][y][li*len(dsts)*blk : (li+1)*len(dsts)*blk]
+		if blk > 0 && len(dsts) > 0 {
+			// Gather this member's blocks for node y's members into its
+			// row of the slab (one contiguous copy per destination).
+			for lj, dst := range dsts {
+				off := a.groupRank(dst) * blk
+				copy(row[lj*blk:(lj+1)*blk], send[off:off+blk])
+			}
+			s.m.ChargeCopyT(t, node, len(row), func() {
+				s.m.Stats.AddCopy(len(row))
+				stage(y + 1)
+			})
+			return
+		}
+		stage(y + 1)
+	}
+	stage(0)
+}

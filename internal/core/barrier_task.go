@@ -1,0 +1,74 @@
+package core
+
+import (
+	"srmcoll/internal/sim"
+)
+
+// opDone builds the final continuation of a Task-engine collective entry:
+// the op-state release also rides the unwind stack (armed only under
+// fault-tolerant execution) so an interrupted operation still retires its
+// entry, exactly as the Proc path's deferred release does on panic unwind.
+func opDone(t *sim.Task, release, kont func()) func() {
+	t.PushUnwind(release)
+	return func() {
+		t.PopUnwind()
+		release()
+		kont()
+	}
+}
+
+// BarrierT is Barrier for the Task engine.
+func (s *SRM) BarrierT(t *sim.Task, rank int, kont func()) {
+	s.World().BarrierT(t, rank, kont)
+}
+
+// BarrierT blocks until every group member has entered the barrier, then
+// runs kont.
+func (g *Group) BarrierT(t *sim.Task, rank int, kont func()) {
+	st, release := g.acquire(rank, func() any { return newBarrierState(g) })
+	st.(*barrierState).runT(t, rank, opDone(t, release, kont))
+}
+
+func (b *barrierState) runT(t *sim.Task, rank int, kont func()) {
+	g := b.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	fs := b.flags[x]
+	if l != 0 {
+		// Check in, then wait for the master to reset the flag.
+		fs.Flag(l).Set(1)
+		fs.Flag(l).WaitForT(t, 0, kont)
+		return
+	}
+	// The master first waits until all other member tasks on the node
+	// check in.
+	fs.WaitAllT(t, 1, func() {
+		nn := len(g.lay.nodes)
+		fin := func() {
+			// Release the node: reset the value of all flags (§2.2).
+			fs.SetAll(0)
+			kont()
+		}
+		if nn <= 1 {
+			fin()
+			return
+		}
+		// Inter-node phase: dissemination with zero-byte puts, log2(n)
+		// rounds, interrupts off for the duration (§2.3).
+		ep := g.s.dom.Endpoint(rank)
+		ep.SetInterrupts(false)
+		var round func(r int)
+		round = func(r int) {
+			if r >= b.rounds {
+				ep.SetInterrupts(true)
+				fin()
+				return
+			}
+			peer := (x + 1<<r) % nn
+			ep.PutZeroT(t, g.s.dom.Endpoint(g.lay.local[peer][0]), b.cnt[peer][r], func() {
+				ep.WaitcntrT(t, b.cnt[x][r], 1, func() { round(r + 1) })
+			})
+		}
+		round(0)
+	}, 0)
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
+)
+
+// BcastT is Bcast for the Task engine.
+func (s *SRM) BcastT(t *sim.Task, rank int, buf []byte, root int, kont func()) {
+	s.World().BcastT(t, rank, buf, root, kont)
+}
+
+// BcastT broadcasts buf from the member rank root to every group member,
+// then runs kont.
+func (g *Group) BcastT(t *sim.Task, rank int, buf []byte, root int, kont func()) {
+	st, release := g.acquire(rank, func() any { return newBcastState(g, root, len(buf)) })
+	b := st.(*bcastState)
+	if b.root != root || b.size != len(buf) {
+		panic(fmt.Sprintf("core: Bcast mismatch at rank %d: root %d/%d size %d/%d",
+			rank, root, b.root, len(buf), b.size))
+	}
+	b.runT(t, rank, buf, opDone(t, release, kont))
+}
+
+func (b *bcastState) runT(t *sim.Task, rank int, buf []byte, kont func()) {
+	g := b.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if rank != b.emb.masters[x] {
+		// Non-master: consume every chunk from the node's publisher.
+		var step func(k int)
+		step = func(k int) {
+			if k >= len(b.sp) {
+				kont()
+				return
+			}
+			c := b.sp[k]
+			b.pub[x].ConsumeT(t, l, k, buf[c.off:c.off+c.n], func() { step(k + 1) })
+		}
+		step(0)
+		return
+	}
+	ep := g.s.dom.Endpoint(rank)
+	enable := g.s.quietNetT(ep, b.size)
+	fin := func() {
+		enable()
+		kont()
+	}
+	if b.large {
+		b.masterLargeT(t, ep, x, buf, fin)
+	} else {
+		b.masterSmallT(t, ep, x, buf, fin)
+	}
+}
+
+// masterSmallT is masterSmall for the Task engine (Fig. 4 left).
+func (b *bcastState) masterSmallT(t *sim.Task, ep *rma.Endpoint, x int, buf []byte, kont func()) {
+	g := b.g
+	node := g.lay.nodes[x]
+	kids := b.emb.inter.Children[x]
+	atRoot := x == b.emb.inter.Root
+
+	var chunk func(k int)
+	chunk = func(k int) {
+		if k >= len(b.sp) {
+			if atRoot {
+				b.pub[x].waitConsumedT(t, len(b.sp)-1, kont)
+				return
+			}
+			kont()
+			return
+		}
+		c := b.sp[k]
+		parity := k % 2
+		slot := -1
+
+		// forward sends the chunk down the inter-node tree, then publishes
+		// it on the node and (off-root) returns buffer credit to the parent.
+		forward := func(src []byte) {
+			var child func(i int)
+			child = func(i int) {
+				if i >= len(kids) {
+					b.pub[x].PublishT(t, k, src, !atRoot, func() {
+						if atRoot {
+							g.s.m.Env.Trace.End(slot)
+							chunk(k + 1)
+							return
+						}
+						// The master's own share leaves the shared buffer too.
+						copied := func() {
+							if k+2 < len(b.sp) {
+								b.pub[x].waitConsumedT(t, k, func() {
+									parent := b.emb.inter.Parent[x]
+									ep.PutZeroT(t, g.s.dom.Endpoint(b.emb.masters[parent]), b.freeC[x][parity], func() {
+										g.s.m.Env.Trace.End(slot)
+										chunk(k + 1)
+									})
+								})
+								return
+							}
+							g.s.m.Env.Trace.End(slot)
+							chunk(k + 1)
+						}
+						if c.n > 0 {
+							g.s.m.MemcpyT(t, node, buf[c.off:c.off+c.n], src, copied)
+							return
+						}
+						copied()
+					})
+					return
+				}
+				ch := kids[i]
+				ep.WaitcntrT(t, b.freeC[ch][parity], 1, func() {
+					dst := b.netBuf[ch][parity][:c.n]
+					ep.PutT(t, g.s.dom.Endpoint(b.emb.masters[ch]), dst, src, nil, b.arr[ch][parity], nil, func() {
+						child(i + 1)
+					})
+				})
+			}
+			child(0)
+		}
+
+		if atRoot {
+			forward(buf[c.off : c.off+c.n])
+			return
+		}
+		// Step: wait for the chunk to land in the shared buffer.
+		ep.WaitcntrT(t, b.arr[x][parity], 1, func() {
+			slot = g.s.m.Env.Trace.Begin(t.Track(), trace.ClassChunkSlot, "chunk:slot", int64(c.n))
+			forward(b.netBuf[x][parity][:c.n])
+		})
+	}
+	chunk(0)
+}
+
+// masterLargeT is masterLarge for the Task engine (Fig. 4 right).
+func (b *bcastState) masterLargeT(t *sim.Task, ep *rma.Endpoint, x int, buf []byte, kont func()) {
+	g := b.g
+	kids := b.emb.inter.Children[x]
+	atRoot := x == b.emb.inter.Root
+	b.userBuf[x] = buf
+
+	var chunk func(k int)
+	chunk = func(k int) {
+		if k >= len(b.sp) {
+			b.pub[x].waitConsumedT(t, len(b.sp)-1, kont)
+			return
+		}
+		c := b.sp[k]
+		send := func() {
+			src := buf[c.off : c.off+c.n]
+			var child func(i int)
+			child = func(i int) {
+				if i >= len(kids) {
+					b.pub[x].PublishT(t, k, src, false, func() { chunk(k + 1) })
+					return
+				}
+				ch := kids[i]
+				b.registered[ch].WaitT(t, func() {
+					dst := b.userBuf[ch][c.off : c.off+c.n]
+					ep.PutT(t, g.s.dom.Endpoint(b.emb.masters[ch]), dst, src, nil, b.arr[ch][k%2], nil, func() {
+						child(i + 1)
+					})
+				})
+			}
+			child(0)
+		}
+		if !atRoot {
+			ep.WaitcntrT(t, b.arr[x][k%2], 1, send) // chunk landed in buf[c.off:]
+			return
+		}
+		send()
+	}
+
+	if !atRoot {
+		// Stage 1: send the user-buffer address to the inter-node parent.
+		parent := b.emb.masters[b.emb.inter.Parent[x]]
+		reg := b.registered[x]
+		ep.AMT(t, g.s.dom.Endpoint(parent), make([]byte, 8), func([]byte) { reg.Trigger() }, func() {
+			chunk(0)
+		})
+		return
+	}
+	chunk(0)
+}

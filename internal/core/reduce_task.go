@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// ReduceT is Reduce for the Task engine.
+func (s *SRM) ReduceT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, root int, kont func()) {
+	s.World().ReduceT(t, rank, send, recv, dt, op, root, kont)
+}
+
+// ReduceT combines the group members' send buffers into recv at root, then
+// runs kont.
+func (g *Group) ReduceT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, root int, kont func()) {
+	ds := dataspec{dt: dt, op: op}
+	if err := ds.validate(len(send)); err != nil {
+		panic(err)
+	}
+	st, release := g.acquire(rank, func() any { return newReduceState(g, root, len(send), ds) })
+	r := st.(*reduceState)
+	if r.root != root || r.size != len(send) || r.ds != ds {
+		panic(fmt.Sprintf("core: Reduce mismatch at rank %d", rank))
+	}
+	if rank == root {
+		if len(recv) != len(send) {
+			panic(fmt.Sprintf("core: Reduce root recv %d bytes, want %d", len(recv), len(send)))
+		}
+		r.partial[g.lay.ni[rank]] = recv
+	}
+	r.runT(t, rank, send, opDone(t, release, kont))
+}
+
+func (r *reduceState) runT(t *sim.Task, rank int, send []byte, kont func()) {
+	g := r.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if rank != r.emb.masters[x] {
+		r.rn[x].workerT(t, l, send, r.sp, r.ds, kont)
+		return
+	}
+	ep := g.s.dom.Endpoint(rank)
+	enable := g.s.quietNetT(ep, r.size)
+	r.masterT(t, ep, x, send, func() {
+		enable()
+		kont()
+	})
+}
+
+// masterT is master for the Task engine.
+func (r *reduceState) masterT(t *sim.Task, ep *rma.Endpoint, x int, send []byte, kont func()) {
+	g := r.g
+	s := g.s
+	node := g.lay.nodes[x]
+	atRoot := x == r.emb.inter.Root
+	if r.partial[x] == nil {
+		r.partial[x] = make([]byte, r.size)
+	}
+	interKids := r.emb.inter.Children[x]
+
+	var chunk func(k int)
+	chunk = func(k int) {
+		if k >= len(r.sp) {
+			kont()
+			return
+		}
+		c := r.sp[k]
+		tchunk := r.partial[x][c.off : c.off+c.n]
+		own := send[c.off : c.off+c.n]
+
+		// After the local and child-node combines, forward or finish.
+		finish := func(have bool) {
+			switch {
+			case !atRoot:
+				// Forward the chunk partial to the parent's slot for this node.
+				src := tchunk
+				if !have {
+					src = own // single-task leaf node: send straight from the user buffer
+				}
+				ep.WaitcntrT(t, r.credit[x], 1, func() {
+					parent := s.dom.Endpoint(r.emb.masters[r.emb.inter.Parent[x]])
+					ep.PutT(t, parent, r.pslot[x][k%2][:c.n], src, nil, r.arr[x][k%2], nil, func() {
+						chunk(k + 1)
+					})
+				})
+			case !have && c.n > 0:
+				// Reduce over a single task: the result is a plain copy.
+				s.m.MemcpyT(t, node, tchunk, own, func() { chunk(k + 1) })
+			default:
+				chunk(k + 1)
+			}
+		}
+
+		var child func(i int, have bool)
+		child = func(i int, have bool) {
+			if i >= len(interKids) {
+				finish(have)
+				return
+			}
+			ch := interKids[i]
+			ep.WaitcntrT(t, r.arr[ch][k%2], 1, func() {
+				slot := r.pslot[ch][k%2][:c.n]
+				next := func() {
+					// Replenish the child's slot credit — only needed while a
+					// chunk k+2 remains to reuse this slot parity.
+					if k+2 < len(r.sp) {
+						ep.PutZeroT(t, s.dom.Endpoint(r.emb.masters[ch]), r.credit[ch], func() {
+							child(i+1, true)
+						})
+						return
+					}
+					child(i+1, true)
+				}
+				if c.n > 0 {
+					if have {
+						r.ds.acc(tchunk, slot)
+					} else {
+						r.ds.into(tchunk, own, slot)
+					}
+					s.combineChargeT(t, c.n, r.ds.dt.Size(), next)
+					return
+				}
+				next()
+			})
+		}
+
+		r.rn[x].masterChunkT(t, k, tchunk, own, r.ds, func(have bool) {
+			child(0, have)
+		})
+	}
+	chunk(0)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/sim"
+)
+
+// slabForT is slabFor for the Task engine: the compaction charge rides the
+// continuation.
+func (st *reduceScatterState) slabForT(t *sim.Task, node int, vec []byte, y int, k func([]byte)) {
+	offs := st.offs[y]
+	if len(offs) == 0 || st.blk == 0 {
+		k(nil)
+		return
+	}
+	contiguous := true
+	for l := 1; l < len(offs); l++ {
+		if offs[l] != offs[l-1]+st.blk {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		k(vec[offs[0] : offs[0]+len(offs)*st.blk])
+		return
+	}
+	slab := make([]byte, len(offs)*st.blk)
+	for l, off := range offs {
+		copy(slab[l*st.blk:(l+1)*st.blk], vec[off:off+st.blk])
+	}
+	st.g.s.m.ChargeCopyT(t, node, len(slab), func() {
+		st.g.s.m.Stats.AddCopy(len(slab))
+		k(slab)
+	})
+}
+
+// ReduceScatterT is ReduceScatter for the Task engine.
+func (g *Group) ReduceScatterT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, kont func()) {
+	ds := dataspec{dt: dt, op: op}
+	if err := ds.validate(len(send)); err != nil {
+		panic(err)
+	}
+	if len(send) != len(recv)*g.Size() {
+		panic(fmt.Sprintf("core: ReduceScatter send %d bytes, want %d", len(send), len(recv)*g.Size()))
+	}
+	if len(recv)%dt.Size() != 0 {
+		panic(fmt.Sprintf("core: ReduceScatter block %d not element-aligned", len(recv)))
+	}
+	st, release := g.acquire(rank, func() any { return newReduceScatterState(g, len(recv), ds) })
+	r := st.(*reduceScatterState)
+	if r.blk != len(recv) || r.ds != ds {
+		panic(fmt.Sprintf("core: ReduceScatter mismatch at rank %d", rank))
+	}
+	r.runT(t, rank, send, recv, opDone(t, release, kont))
+}
+
+// ReduceScatterT is Group.ReduceScatterT over all ranks.
+func (s *SRM) ReduceScatterT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, kont func()) {
+	s.World().ReduceScatterT(t, rank, send, recv, dt, op, kont)
+}
+
+func (st *reduceScatterState) runT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	g := st.g
+	s := g.s
+	x := g.lay.ni[rank]
+	li := g.lay.li[rank]
+	nn := len(g.lay.nodes)
+	node := g.lay.nodes[x]
+
+	// Phase 3: every member copies its block out of shared memory.
+	copyOut := func() {
+		st.ready[x].WaitForT(t, 1, func() {
+			if st.blk > 0 {
+				off := li * st.blk
+				s.m.MemcpyT(t, node, recv, st.acc[x][off:off+st.blk], kont)
+				return
+			}
+			kont()
+		})
+	}
+
+	// Phase 1: full-vector SMP reduce into the master's partial buffer.
+	if rank != g.lay.local[x][0] {
+		st.rn[x].workerT(t, li, send, st.sp, st.ds, copyOut)
+		return
+	}
+	ep := s.dom.Endpoint(rank)
+
+	// Phase 2: ship each peer node its members' blocks, combine the
+	// inbound partials for this node's own blocks.
+	exchange := func() {
+		st.slabForT(t, node, st.partial[x], x, func(own []byte) {
+			copy(st.acc[x], own)
+			var put func(d int)
+			put = func(d int) {
+				if d >= nn {
+					var fold func(d int)
+					fold = func(d int) {
+						if d >= nn {
+							st.ready[x].Set(1)
+							copyOut()
+							return
+						}
+						y := (x + d) % nn
+						ep.WaitcntrT(t, st.arr[x][y], 1, func() {
+							if len(st.acc[x]) > 0 {
+								st.ds.acc(st.acc[x], st.slot[x][y])
+								s.combineChargeT(t, len(st.acc[x]), st.ds.dt.Size(), func() { fold(d + 1) })
+								return
+							}
+							fold(d + 1)
+						})
+					}
+					fold(1)
+					return
+				}
+				y := (x + d) % nn
+				st.slabForT(t, node, st.partial[x], y, func(slab []byte) {
+					ep.PutT(t, s.dom.Endpoint(g.lay.local[y][0]), st.slot[y][x],
+						slab, nil, st.arr[y][x], nil, func() { put(d + 1) })
+				})
+			}
+			put(1)
+		})
+	}
+
+	var chunk func(k int)
+	chunk = func(k int) {
+		if k >= len(st.sp) {
+			exchange()
+			return
+		}
+		c := st.sp[k]
+		tchunk := st.partial[x][c.off : c.off+c.n]
+		own := send[c.off : c.off+c.n]
+		st.rn[x].masterChunkT(t, k, tchunk, own, st.ds, func(have bool) {
+			if !have && c.n > 0 {
+				s.m.MemcpyT(t, g.lay.nodes[x], tchunk, own, func() { chunk(k + 1) }) // single member node
+				return
+			}
+			chunk(k + 1)
+		})
+	}
+	chunk(0)
+}

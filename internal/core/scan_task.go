@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"srmcoll/internal/dtype"
+	"srmcoll/internal/sim"
+)
+
+// ScanT is Scan for the Task engine.
+func (g *Group) ScanT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, kont func()) {
+	g.scanT(t, rank, send, recv, dt, op, false, kont)
+}
+
+// ExscanT is Exscan for the Task engine.
+func (g *Group) ExscanT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, kont func()) {
+	g.scanT(t, rank, send, recv, dt, op, true, kont)
+}
+
+func (g *Group) scanT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, exclusive bool, kont func()) {
+	ds := dataspec{dt: dt, op: op}
+	if err := ds.validate(len(send)); err != nil {
+		panic(err)
+	}
+	if len(recv) != len(send) {
+		panic(fmt.Sprintf("core: scan recv %d bytes, want %d", len(recv), len(send)))
+	}
+	st, release := g.acquire(rank, func() any { return newScanState(g, len(send), ds) })
+	sc := st.(*scanState)
+	if sc.size != len(send) || sc.ds != ds {
+		panic(fmt.Sprintf("core: scan mismatch at rank %d", rank))
+	}
+	sc.runT(t, rank, send, recv, exclusive, opDone(t, release, kont))
+}
+
+// ScanT is Group.ScanT over all ranks.
+func (s *SRM) ScanT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, kont func()) {
+	s.World().ScanT(t, rank, send, recv, dt, op, kont)
+}
+
+// ExscanT is Group.ExscanT over all ranks.
+func (s *SRM) ExscanT(t *sim.Task, rank int, send, recv []byte, dt dtype.Type, op dtype.Op, kont func()) {
+	s.World().ExscanT(t, rank, send, recv, dt, op, kont)
+}
+
+func (st *scanState) runT(t *sim.Task, rank int, send, recv []byte, exclusive bool, kont func()) {
+	g := st.g
+	s := g.s
+	gi := g.lay.li[rank] // placeholder; real group rank below
+	for i, r := range g.lay.members {
+		if r == rank {
+			gi = i
+		}
+	}
+	P := len(g.lay.members)
+	node := g.lay.nodes[g.lay.ni[rank]]
+	ep := s.dom.Endpoint(rank)
+
+	shift := func() {
+		if !exclusive {
+			kont()
+			return
+		}
+		// Exscan: shift the inclusive results right by one member.
+		pull := func() {
+			if gi > 0 {
+				ep.WaitcntrT(t, st.sarr[gi], 1, func() {
+					if st.size > 0 {
+						s.m.MemcpyT(t, node, recv, st.shift[gi], kont)
+						return
+					}
+					kont()
+				})
+				return
+			}
+			for i := range recv {
+				recv[i] = 0
+			}
+			kont()
+		}
+		if gi+1 < P {
+			target := g.lay.members[gi+1]
+			ep.PutT(t, s.dom.Endpoint(target), st.shift[gi+1], recv, nil, st.sarr[gi+1], nil, pull)
+			return
+		}
+		pull()
+	}
+	var round func(r int)
+	round = func(r int) {
+		if r >= st.rounds {
+			shift()
+			return
+		}
+		dist := 1 << r
+		fold := func() {
+			if gi-dist >= 0 {
+				ep.WaitcntrT(t, st.arr[gi][r], 1, func() {
+					if st.size > 0 {
+						st.ds.acc(recv, st.slot[gi][r]) // commutative fold
+						s.combineChargeT(t, st.size, st.ds.dt.Size(), func() { round(r + 1) })
+						return
+					}
+					round(r + 1)
+				})
+				return
+			}
+			round(r + 1)
+		}
+		if gi+dist < P {
+			target := g.lay.members[gi+dist]
+			ep.PutT(t, s.dom.Endpoint(target), st.slot[gi+dist][r], recv,
+				nil, st.arr[gi+dist][r], nil, fold)
+			return
+		}
+		fold()
+	}
+	// Running inclusive partial lives in recv.
+	if st.size > 0 {
+		s.m.MemcpyT(t, node, recv, send, func() { round(0) })
+		return
+	}
+	round(0)
+}

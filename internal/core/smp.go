@@ -175,11 +175,16 @@ func (tp *treePub) waitConsumed(p *sim.Proc, k int) {
 	tp.waitAcks(p, tp.tr.Root, k)
 }
 
-// publisher abstracts the two SMP broadcast variants.
+// publisher abstracts the SMP broadcast variants. Each variant implements
+// both engines: the Proc methods and their Task-engine CPS counterparts
+// (smp_task.go).
 type publisher interface {
 	Publish(p *sim.Proc, k int, src []byte, direct bool)
 	Consume(p *sim.Proc, local, k int, dst []byte)
 	waitConsumed(p *sim.Proc, k int)
+	PublishT(t *sim.Task, k int, src []byte, direct bool, kont func())
+	ConsumeT(t *sim.Task, local, k int, dst []byte, kont func())
+	waitConsumedT(t *sim.Task, k int, kont func())
 }
 
 // newPublisher picks the SMP broadcast variant per Options. count is the

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
+)
+
+// Task-engine sides of the SMP broadcast publishers and the SMP reduce
+// node (see smp.go for the protocol commentary). Each method mirrors its
+// Proc counterpart wait-for-wait and copy-for-copy.
+
+// --- smpPub (flat two-buffer broadcast, Figure 3) ---
+
+func (pub *smpPub) waitConsumedT(t *sim.Task, k int, kont func()) {
+	var step func(i int)
+	step = func(i int) {
+		for i == pub.masterLocal {
+			i++
+		}
+		if i >= pub.done.Len() {
+			kont()
+			return
+		}
+		pub.done.Flag(i).WaitGET(t, k+1, func() { step(i + 1) })
+	}
+	step(0)
+}
+
+func (pub *smpPub) PublishT(t *sim.Task, k int, src []byte, direct bool, kont func()) {
+	if pub.done.Len() == 1 {
+		kont()
+		return
+	}
+	id := pub.s.m.Env.Trace.Begin(t.Track(), trace.ClassSmp, "smp:publish", int64(len(src)))
+	parity := k % 2
+	fin := func() {
+		pub.ready.Set(k + 1)
+		pub.s.m.Env.Trace.End(id)
+		kont()
+	}
+	if direct {
+		pub.cur[parity] = src
+		fin()
+		return
+	}
+	stage := func() {
+		pub.s.m.MemcpyT(t, pub.node, pub.buf[parity][:len(src)], src, func() {
+			pub.cur[parity] = pub.buf[parity][:len(src)]
+			fin()
+		})
+	}
+	if k >= 2 {
+		pub.waitConsumedT(t, k-2, stage) // buffer reuse: Figure 3 flag protocol
+	} else {
+		stage()
+	}
+}
+
+func (pub *smpPub) ConsumeT(t *sim.Task, local, k int, dst []byte, kont func()) {
+	id := pub.s.m.Env.Trace.Begin(t.Track(), trace.ClassSmp, "smp:consume", int64(len(dst)))
+	pub.ready.WaitGET(t, k+1, func() {
+		fin := func() {
+			pub.done.Flag(local).Set(k + 1)
+			pub.s.m.Env.Trace.End(id)
+			kont()
+		}
+		if len(dst) > 0 {
+			pub.s.m.MemcpyT(t, pub.node, dst, pub.cur[k%2][:len(dst)], fin)
+		} else {
+			fin()
+		}
+	})
+}
+
+// --- treePub (tree broadcast variant, ablation A2) ---
+
+func (tp *treePub) waitAcksT(t *sim.Task, v, k int, kont func()) {
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(tp.ack[v]) {
+			kont()
+			return
+		}
+		tp.ack[v][i].WaitGET(t, k+1, func() { step(i + 1) })
+	}
+	step(0)
+}
+
+func (tp *treePub) PublishT(t *sim.Task, k int, src []byte, direct bool, kont func()) {
+	root := tp.tr.Root
+	if len(tp.full) == 1 {
+		kont()
+		return
+	}
+	parity := k % 2
+	fin := func() {
+		tp.full[root].Set(k + 1)
+		kont()
+	}
+	if direct {
+		tp.buf[root][parity] = src // expose shared source without a copy
+		fin()
+		return
+	}
+	cp := func() {
+		tp.s.m.MemcpyT(t, tp.node, tp.buf[root][parity][:len(src)], src, fin)
+	}
+	if k >= 2 {
+		tp.waitAcksT(t, root, k-2, cp)
+	} else {
+		cp()
+	}
+}
+
+func (tp *treePub) ConsumeT(t *sim.Task, local, k int, dst []byte, kont func()) {
+	parent := tp.tr.Parent[local]
+	parity := k % 2
+	tp.full[parent].WaitGET(t, k+1, func() {
+		src := tp.buf[parent][parity][:len(dst)]
+		ackParent := func() {
+			for j, c := range tp.tr.Children[parent] {
+				if c == local {
+					tp.ack[parent][j].Set(k + 1)
+				}
+			}
+			kont()
+		}
+		if len(tp.tr.Children[local]) > 0 {
+			relay := func() {
+				if len(dst) > 0 {
+					tp.s.m.MemcpyT(t, tp.node, tp.buf[local][parity][:len(dst)], src, func() {
+						tp.s.m.MemcpyT(t, tp.node, dst, tp.buf[local][parity][:len(dst)], func() {
+							tp.full[local].Set(k + 1)
+							ackParent()
+						})
+					})
+					return
+				}
+				tp.full[local].Set(k + 1)
+				ackParent()
+			}
+			if k >= 2 {
+				tp.waitAcksT(t, local, k-2, relay)
+			} else {
+				relay()
+			}
+			return
+		}
+		if len(dst) > 0 {
+			tp.s.m.MemcpyT(t, tp.node, dst, src, ackParent)
+			return
+		}
+		ackParent()
+	})
+}
+
+func (tp *treePub) waitConsumedT(t *sim.Task, k int, kont func()) {
+	tp.waitAcksT(t, tp.tr.Root, k, kont)
+}
+
+// --- barrierPub (Sistare-style barrier-arbitrated broadcast, §4) ---
+
+func (pub *barrierPub) barrierMasterT(t *sim.Task, gen int, kont func()) {
+	var step func(i int)
+	step = func(i int) {
+		for i == pub.masterLocal {
+			i++
+		}
+		if i >= pub.count {
+			pub.epoch.Set(gen)
+			kont()
+			return
+		}
+		pub.checkin.Flag(i).WaitGET(t, gen, func() { step(i + 1) })
+	}
+	step(0)
+}
+
+func (pub *barrierPub) barrierWorkerT(t *sim.Task, local, gen int, kont func()) {
+	pub.checkin.Flag(local).Set(gen)
+	pub.epoch.WaitGET(t, gen, kont)
+}
+
+func (pub *barrierPub) PublishT(t *sim.Task, k int, src []byte, direct bool, kont func()) {
+	if pub.count == 1 {
+		kont()
+		return
+	}
+	pub.barrierMasterT(t, 2*k+1, func() {
+		parity := k % 2
+		fill := func() { pub.barrierMasterT(t, 2*k+2, kont) }
+		if direct {
+			pub.cur[parity] = src
+			fill()
+			return
+		}
+		pub.s.m.MemcpyT(t, pub.node, pub.buf[parity][:len(src)], src, func() {
+			pub.cur[parity] = pub.buf[parity][:len(src)]
+			fill()
+		})
+	})
+}
+
+func (pub *barrierPub) ConsumeT(t *sim.Task, local, k int, dst []byte, kont func()) {
+	pub.barrierWorkerT(t, local, 2*k+1, func() {
+		pub.barrierWorkerT(t, local, 2*k+2, func() {
+			fin := func() {
+				pub.checkin.Flag(local).Set(2*k + 3)
+				kont()
+			}
+			if len(dst) > 0 {
+				pub.s.m.MemcpyT(t, pub.node, dst, pub.cur[k%2][:len(dst)], fin)
+				return
+			}
+			fin()
+		})
+	})
+}
+
+func (pub *barrierPub) waitConsumedT(t *sim.Task, k int, kont func()) {
+	if pub.count == 1 {
+		kont()
+		return
+	}
+	pub.barrierMasterT(t, 2*k+3, kont)
+}
+
+// --- redNode (SMP reduce, Figure 2) ---
+
+func (rn *redNode) workerT(t *sim.Task, local int, send []byte, sp []span, ds dataspec, kont func()) {
+	var step func(k int)
+	step = func(k int) {
+		if k >= len(sp) {
+			kont()
+			return
+		}
+		c := sp[k]
+		parity := k % 2
+		rn.free[local].WaitGET(t, k-1, func() {
+			target := rn.slot[local][parity][:c.n]
+			own := send[c.off : c.off+c.n]
+			kids := rn.tr.Children[local]
+			fin := func() {
+				rn.full[local].Set(k + 1)
+				step(k + 1)
+			}
+			if len(kids) == 0 {
+				if c.n > 0 {
+					rn.s.m.MemcpyT(t, rn.node, target, own, fin) // the Figure 2 leaf copy
+					return
+				}
+				fin()
+				return
+			}
+			rn.combineChildrenT(t, k, kids, target, own, ds, fin)
+		})
+	}
+	step(0)
+}
+
+func (rn *redNode) combineChildrenT(t *sim.Task, k int, kids []int, target, own []byte, ds dataspec, kont func()) {
+	parity := k % 2
+	var step func(i int, first bool)
+	step = func(i int, first bool) {
+		if i >= len(kids) {
+			kont()
+			return
+		}
+		c := kids[i]
+		rn.full[c].WaitGET(t, k+1, func() {
+			src := rn.slot[c][parity][:len(target)]
+			next := func() {
+				rn.free[c].Set(k + 1)
+				step(i+1, false)
+			}
+			if len(target) > 0 {
+				if first {
+					ds.into(target, own, src)
+				} else {
+					ds.acc(target, src)
+				}
+				rn.s.combineChargeT(t, len(target), ds.dt.Size(), next)
+				return
+			}
+			next()
+		})
+	}
+	step(0, true)
+}
+
+// masterChunkT runs the master's local-children combine for chunk k; kont
+// receives masterChunk's have result.
+func (rn *redNode) masterChunkT(t *sim.Task, k int, target, own []byte, ds dataspec, kont func(have bool)) {
+	kids := rn.tr.Children[rn.tr.Root]
+	if len(kids) == 0 {
+		kont(false)
+		return
+	}
+	rn.combineChildrenT(t, k, kids, target, own, ds, func() { kont(true) })
+}

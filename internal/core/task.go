@@ -1,0 +1,39 @@
+package core
+
+import (
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// Task-engine entry points for the SRM collectives. Each *T method is a
+// call-for-call continuation-passing transcription of its Proc counterpart:
+// the same resources are created in the same order, the same waits, sleeps,
+// copies, and counter updates happen at the same virtual instants, and the
+// same inline fast paths are taken — so a collective produces bit-identical
+// simulated time (and Stats) on either engine. The shared per-operation
+// state is reused via Group.acquire exactly as on the Proc path, which is
+// what keeps condition/counter creation order (and hence trace and wake
+// ordering) identical when engines are compared.
+//
+// CPS conventions (see DESIGN.md §15): every *T function takes its
+// continuation k as the last parameter and must call it exactly once, as
+// the final action of whatever step completes the operation; loops become
+// tail-recursive step functions; Proc defers become either code in the
+// final continuation (normal completion) or unwind-stack entries (armed
+// only under fault-tolerant execution).
+
+// combineChargeT is combineCharge for the Task engine.
+func (s *SRM) combineChargeT(t *sim.Task, n, elemSize int, k func()) {
+	t.SleepThen(s.m.CombineTime(n), func() {
+		s.m.Stats.AddReduce(n / max(1, elemSize))
+		k()
+	})
+}
+
+// quietNetT is quietNet for the Task engine: it disables interrupts at a
+// master endpoint for a small-message operation and returns the re-enable
+// function, which the caller must invoke in the operation's final
+// continuation (where the Proc path defers it).
+func (s *SRM) quietNetT(ep *rma.Endpoint, size int) func() {
+	return s.quietNet(ep, size)
+}

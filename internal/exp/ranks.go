@@ -9,7 +9,7 @@ import (
 
 // This file is the massive-rank half of the perf harness: the `ranks`
 // basket runs the state-machine allreduce core (srmcoll.ScaleAllreduce) at
-// 1k/4k/16k/64k ranks and reports events/sec and the protocol bytes/rank
+// 1k/4k/16k/64k/256k/1M ranks and reports events/sec and the protocol bytes/rank
 // footprint into BENCH_simperf.json, alongside the goroutine-engine basket
 // in perf.go.
 
@@ -30,17 +30,32 @@ type RanksEntry struct {
 	Allocs       uint64  `json:"allocs"`
 }
 
+// deepRanks extends the ladder to the 256k and 1M points. Off by default:
+// the deep points cost tens of seconds per measurement, which belongs in
+// the bench tool (`srmbench -benchjson`), not in every test run.
+var deepRanks bool
+
+// SetDeepRanks toggles the 256k/1M rank points of the ladder.
+func SetDeepRanks(on bool) { deepRanks = on }
+
 // ranksShapes is the fixed rank-count ladder. Payloads are small (64 B) so
 // the basket measures protocol and engine overhead, not memcpy of host
 // buffers; do not retune casually — BENCH_simperf.json compares like
 // against like across commits.
 func ranksShapes() []struct{ nodes, tpn, bytes int } {
-	return []struct{ nodes, tpn, bytes int }{
+	shapes := []struct{ nodes, tpn, bytes int }{
 		{128, 8, 64},  // 1k ranks
 		{512, 8, 64},  // 4k ranks
 		{2048, 8, 64}, // 16k ranks
 		{8192, 8, 64}, // 64k ranks
 	}
+	if deepRanks {
+		shapes = append(shapes,
+			struct{ nodes, tpn, bytes int }{32768, 8, 64},  // 256k ranks
+			struct{ nodes, tpn, bytes int }{131072, 8, 64}, // 1M ranks
+		)
+	}
+	return shapes
 }
 
 const ranksTries = 3

@@ -13,6 +13,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"srmcoll/internal/bufpool"
 	"srmcoll/internal/fault"
@@ -502,6 +503,40 @@ func (m *Machine) Memcpy(p *sim.Proc, node int, dst, src []byte) {
 	m.Stats.AddCopy(len(src))
 }
 
+// copyFrame is a pooled continuation frame for a Task-engine copy: the
+// resume continuation is bound once per frame, so the millions of charged
+// copies in a massive-rank run allocate nothing per call. The frame is live
+// only across the copy sleep; a task sleeps on exactly one thing at a time.
+type copyFrame struct {
+	m        *Machine
+	nd       *Node
+	id       int // open trace span
+	dst, src []byte
+	n        int
+	move     bool // Memcpy semantics: land the bytes and count the copy
+	k        func()
+	doneFn   func()
+}
+
+var copyFramePool = sync.Pool{New: func() any { return new(copyFrame) }}
+
+func (fr *copyFrame) done() {
+	m, nd, id, dst, src, n, move, k := fr.m, fr.nd, fr.id, fr.dst, fr.src, fr.n, fr.move, fr.k
+	fr.m = nil
+	fr.nd = nil
+	fr.dst = nil
+	fr.src = nil
+	fr.k = nil
+	copyFramePool.Put(fr)
+	nd.activeCopies--
+	m.Env.Trace.End(id)
+	if move {
+		copy(dst, src)
+		m.Stats.AddCopy(n)
+	}
+	k()
+}
+
 // MemcpyT is Memcpy for the Task engine: the copy time is charged through
 // SleepThen and k runs once the bytes have landed. The contention snapshot,
 // daemon charge, trace spans and stats match Memcpy call for call, so both
@@ -510,32 +545,30 @@ func (m *Machine) MemcpyT(t *sim.Task, node int, dst, src []byte, k func()) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("machine: MemcpyT length mismatch %d != %d", len(dst), len(src)))
 	}
-	nd := m.nodes[node]
-	d := m.CopyTime(len(src)) * m.copyFactor(nd)
-	d += m.DaemonExtra(node, d)
-	id := m.Env.Trace.Begin(t.Track(), trace.ClassShmCopy, "shm:copy", int64(len(src)))
-	nd.activeCopies++
-	t.SleepThen(d, func() {
-		nd.activeCopies--
-		m.Env.Trace.End(id)
-		copy(dst, src)
-		m.Stats.AddCopy(len(src))
-		k()
-	})
+	m.chargeCopyT(t, node, dst, src, len(src), true, k)
 }
 
 // ChargeCopyT is ChargeCopy for the Task engine.
 func (m *Machine) ChargeCopyT(t *sim.Task, node, n int, k func()) {
+	m.chargeCopyT(t, node, nil, nil, n, false, k)
+}
+
+// chargeCopyT charges contended copy time for n bytes through a pooled
+// frame; with move set it also lands the bytes and records the copy once
+// the sleep elapses (Memcpy semantics — ChargeCopy leaves the data motion
+// to a lower layer and records nothing).
+func (m *Machine) chargeCopyT(t *sim.Task, node int, dst, src []byte, n int, move bool, k func()) {
 	nd := m.nodes[node]
 	d := m.CopyTime(n) * m.copyFactor(nd)
 	d += m.DaemonExtra(node, d)
 	id := m.Env.Trace.Begin(t.Track(), trace.ClassShmCopy, "shm:copy", int64(n))
 	nd.activeCopies++
-	t.SleepThen(d, func() {
-		nd.activeCopies--
-		m.Env.Trace.End(id)
-		k()
-	})
+	fr := copyFramePool.Get().(*copyFrame)
+	if fr.doneFn == nil {
+		fr.doneFn = fr.done // bound once per frame, reused across the pool
+	}
+	fr.m, fr.nd, fr.id, fr.dst, fr.src, fr.n, fr.move, fr.k = m, nd, id, dst, src, n, move, k
+	t.SleepThen(d, fr.doneFn)
 }
 
 // ChargeCopy charges copy time for n bytes on a node without moving data;

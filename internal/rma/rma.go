@@ -14,6 +14,7 @@ package rma
 
 import (
 	"fmt"
+	"sync"
 
 	"srmcoll/internal/machine"
 	"srmcoll/internal/sim"
@@ -360,6 +361,44 @@ func (c *Counter) WaitValueT(t *sim.Task, v int, k func()) {
 	})
 }
 
+// drainFrame is a pooled continuation frame for drainPendingT: the resume
+// continuation is bound once per frame, so draining deferred deliveries —
+// the common case for masters running with interrupts off — allocates
+// nothing per delivery. Pooled-frame safety follows the retryFn contract:
+// a task parks or sleeps on one thing at a time and stale waiters are
+// dropped on interrupt, so a frame is referenced only between its arm and
+// its resume.
+type drainFrame struct {
+	ep     *Endpoint
+	t      *sim.Task
+	k      func()
+	fn     func() // delivery being serviced during the current sleep
+	stepFn func()
+}
+
+var drainFramePool = sync.Pool{New: func() any { return new(drainFrame) }}
+
+func (fr *drainFrame) step() {
+	if fr.fn != nil {
+		fn := fr.fn
+		fr.fn = nil
+		fn()
+	}
+	ep := fr.ep
+	if len(ep.pending) == 0 {
+		k := fr.k
+		fr.ep = nil
+		fr.t = nil
+		fr.k = nil
+		drainFramePool.Put(fr)
+		k()
+		return
+	}
+	fr.fn = ep.pending[0]
+	ep.pending = ep.pending[1:]
+	fr.t.SleepThen(ep.dom.m.Cfg.RecvOverhead, fr.stepFn)
+}
+
 // drainPendingT services deferred deliveries from inside an RMA call, one
 // RecvOverhead sleep per delivery like drainPending, then runs k.
 func (ep *Endpoint) drainPendingT(t *sim.Task, k func()) {
@@ -367,33 +406,160 @@ func (ep *Endpoint) drainPendingT(t *sim.Task, k func()) {
 		k()
 		return
 	}
-	fn := ep.pending[0]
-	ep.pending = ep.pending[1:]
-	t.SleepThen(ep.dom.m.Cfg.RecvOverhead, func() {
-		fn()
-		ep.drainPendingT(t, k)
-	})
+	fr := drainFramePool.Get().(*drainFrame)
+	if fr.stepFn == nil {
+		fr.stepFn = fr.step // bound once per frame, reused across the pool
+	}
+	fr.ep, fr.t, fr.k = ep, t, k
+	fr.step()
+}
+
+// cntrFrame is the pooled continuation frame for WaitcntrT: drain resume,
+// park predicate, wake continuation, and the unwind compensation are all
+// bound once per frame, so counter waits — the inner loop of the put/credit
+// protocols — allocate nothing per wait.
+type cntrFrame struct {
+	ep           *Endpoint
+	c            *Counter
+	t            *sim.Task
+	v            int
+	id           int // open trace span while parked
+	k            func()
+	afterDrainFn func()
+	predFn       func() bool
+	doneFn       func()
+	unwindFn     func()
+}
+
+var cntrFramePool = sync.Pool{New: func() any { return new(cntrFrame) }}
+
+func (fr *cntrFrame) afterDrain() {
+	ep, c, t := fr.ep, fr.c, fr.t
+	ep.inCall = true
+	t.PushUnwind(fr.unwindFn)
+	if c.val >= fr.v {
+		fr.finish()
+		return
+	}
+	fr.id = c.env.Trace.Begin(t.Track(), c.wcl, c.wcl.String(), 0)
+	c.cond.WaitUntilOnT(t, c, fr.v, fr.predFn, fr.doneFn)
+}
+
+func (fr *cntrFrame) pred() bool { return fr.c.val >= fr.v }
+
+func (fr *cntrFrame) done() {
+	fr.c.env.Trace.End(fr.id)
+	fr.finish()
+}
+
+// finish consumes the counter and leaves the RMA call, same order as the
+// Proc path: subtract, clear inCall, discard the compensation, resume.
+func (fr *cntrFrame) finish() {
+	ep, c, t, v, k := fr.ep, fr.c, fr.t, fr.v, fr.k
+	fr.release()
+	c.val -= v
+	ep.inCall = false
+	t.PopUnwind()
+	k()
+}
+
+// unwind restores inCall when a fault-tolerance interrupt abandons the
+// wait; the waiter entry is already dropped, so the frame recycles here.
+func (fr *cntrFrame) unwind() {
+	ep := fr.ep
+	fr.release()
+	ep.inCall = false
+}
+
+func (fr *cntrFrame) release() {
+	fr.ep = nil
+	fr.c = nil
+	fr.t = nil
+	fr.k = nil
+	cntrFramePool.Put(fr)
 }
 
 // WaitcntrT is Waitcntr for the Task engine. The endpoint counts as inside
 // an RMA call (dispatcher polling) from the moment the wait arms until k is
-// about to run. Unlike the Proc version there is no unwind protection: a
-// task interrupted while parked here must restore the endpoint state in its
-// OnInterrupt handler. Protocol tasks live outside the chaos paths, which
-// stay on the Proc engine.
+// about to run. The Proc version restores inCall via defer when a crash or
+// fault-tolerance interrupt unwinds through the wait; here the same
+// compensation rides the task's unwind stack (a no-op unless fault-tolerant
+// execution armed it).
 func (ep *Endpoint) WaitcntrT(t *sim.Task, c *Counter, v int, k func()) {
-	ep.drainPendingT(t, func() {
-		ep.inCall = true
-		c.waitGET(t, v, func() {
-			c.val -= v
-			ep.inCall = false
-			k()
-		})
-	})
+	fr := cntrFramePool.Get().(*cntrFrame)
+	if fr.afterDrainFn == nil {
+		// Bound once per frame, reused across the pool for its lifetime.
+		fr.afterDrainFn = fr.afterDrain
+		fr.predFn = fr.pred
+		fr.doneFn = fr.done
+		fr.unwindFn = fr.unwind
+	}
+	fr.ep, fr.c, fr.t, fr.v, fr.k = ep, c, t, v, k
+	ep.drainPendingT(t, fr.afterDrainFn)
 }
 
 // ProbeT is Probe for the Task engine.
 func (ep *Endpoint) ProbeT(t *sim.Task, k func()) { ep.drainPendingT(t, k) }
+
+// putFrame is the pooled continuation frame for PutT: the post-overhead
+// injection step and the loopback copy completion are bound once per frame,
+// so the put fan-outs of a massive-rank run allocate nothing per call.
+type putFrame struct {
+	ep, target         *Endpoint
+	t                  *sim.Task
+	dst, src           []byte
+	origin, tgt, compl *Counter
+	k                  func()
+	sendFn             func()
+	copyFn             func()
+}
+
+var putFramePool = sync.Pool{New: func() any { return new(putFrame) }}
+
+func (fr *putFrame) send() {
+	ep, target, t := fr.ep, fr.target, fr.t
+	m := ep.dom.m
+	if target.Node == ep.Node {
+		m.MemcpyT(t, ep.Node, fr.dst, fr.src, fr.copyFn)
+		return
+	}
+	par := -1
+	if tr := m.Env.Trace; tr != nil {
+		par = tr.Current(t.Track())
+	}
+	dst, src, origin, tgt, compl, k := fr.dst, fr.src, fr.origin, fr.tgt, fr.compl, fr.k
+	fr.release()
+	ep.putRemote(target, par, dst, src, origin, tgt, compl)
+	k()
+}
+
+func (fr *putFrame) copyDone() {
+	origin, tgt, compl, k := fr.origin, fr.tgt, fr.compl, fr.k
+	fr.release()
+	if origin != nil {
+		origin.Incr(1)
+	}
+	if tgt != nil {
+		tgt.Incr(1)
+	}
+	if compl != nil {
+		compl.Incr(1)
+	}
+	k()
+}
+
+func (fr *putFrame) release() {
+	fr.ep = nil
+	fr.target = nil
+	fr.t = nil
+	fr.dst = nil
+	fr.src = nil
+	fr.origin = nil
+	fr.tgt = nil
+	fr.compl = nil
+	fr.k = nil
+	putFramePool.Put(fr)
+}
 
 // PutT is Put for the Task engine: k runs once the origin CPU has paid the
 // send overhead (and, for a loopback put, the shared-memory copy) — the
@@ -404,29 +570,17 @@ func (ep *Endpoint) PutT(t *sim.Task, target *Endpoint, dst, src []byte, origin,
 	}
 	m := ep.dom.m
 	m.Stats.AddPut(len(src))
-	t.SleepThen(m.Cfg.SendOverhead, func() {
-		if target.Node == ep.Node {
-			m.MemcpyT(t, ep.Node, dst, src, func() {
-				if origin != nil {
-					origin.Incr(1)
-				}
-				if tgt != nil {
-					tgt.Incr(1)
-				}
-				if compl != nil {
-					compl.Incr(1)
-				}
-				k()
-			})
-			return
-		}
-		par := -1
-		if tr := m.Env.Trace; tr != nil {
-			par = tr.Current(t.Track())
-		}
-		ep.putRemote(target, par, dst, src, origin, tgt, compl)
-		k()
-	})
+	fr := putFramePool.Get().(*putFrame)
+	if fr.sendFn == nil {
+		// Bound once per frame, reused across the pool for its lifetime.
+		fr.sendFn = fr.send
+		fr.copyFn = fr.copyDone
+	}
+	fr.ep, fr.target, fr.t = ep, target, t
+	fr.dst, fr.src = dst, src
+	fr.origin, fr.tgt, fr.compl = origin, tgt, compl
+	fr.k = k
+	t.SleepThen(m.Cfg.SendOverhead, fr.sendFn)
 }
 
 // PutZeroT is PutZero for the Task engine.
@@ -453,6 +607,31 @@ func (ep *Endpoint) AM(p *sim.Proc, target *Endpoint, payload []byte, handler fu
 		target.deliver(-1, -1, func() {
 			m.Env.After(m.Cfg.AMHandlerCost, func() { handler(payload) })
 		})
+	})
+}
+
+// AMT is AM for the Task engine: k runs once the origin CPU has paid the
+// send overhead (plus, for an intra-node message, the handler cost — the
+// point at which AM would have returned to the calling process). The
+// handler itself runs at the target under the shared delivery rules.
+func (ep *Endpoint) AMT(t *sim.Task, target *Endpoint, payload []byte, handler func([]byte), k func()) {
+	m := ep.dom.m
+	m.Stats.ActiveMsgs++
+	t.SleepThen(m.Cfg.SendOverhead, func() {
+		if target.Node == ep.Node {
+			t.SleepThen(m.Cfg.AMHandlerCost, func() {
+				handler(payload)
+				k()
+			})
+			return
+		}
+		_, arrival := m.NetInjectTo(ep.Node, target.Node, len(payload))
+		m.Env.At(arrival, func() {
+			target.deliver(-1, -1, func() {
+				m.Env.After(m.Cfg.AMHandlerCost, func() { handler(payload) })
+			})
+		})
+		k()
 	})
 }
 

@@ -1,0 +1,50 @@
+package scale
+
+import (
+	"runtime"
+	"testing"
+
+	"srmcoll/internal/machine"
+)
+
+// TestTasksEngineAllocGuard is the CPS-garbage regression guard: it pins the
+// host allocations per simulator event for a Tasks-engine run. The state
+// machines and pooled continuation frames brought the steady-state figure
+// from ~4.4 allocs/event (closure-per-step CPS, commit 730ec74) down to
+// ~2.9 at a million ranks; at this 16,384-rank shape the measured figure is
+// recorded below. A bound between the two catches any slide back toward
+// allocating closures on the hot park/copy/put paths while leaving headroom
+// for runtime jitter (sync.Pool drains across GCs, timer churn).
+func TestTasksEngineAllocGuard(t *testing.T) {
+	cfg := Config{
+		Machine: machine.ColonySP(2048, 8), // 16,384 ranks
+		Bytes:   64,
+		Reps:    2,
+		Engine:  Tasks,
+	}
+	// Warm-up run: populates the frame pools and the scheduler free lists so
+	// the measured run sees steady-state behavior.
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	allocs := after.Mallocs - before.Mallocs
+	perEvent := float64(allocs) / float64(res.Events)
+	t.Logf("allocs=%d events=%d allocs/event=%.3f", allocs, res.Events, perEvent)
+
+	// Measured ~1.6 allocs/event at this shape after the frame-pool work
+	// (warm pools); the pre-refactor engine sat near 4.4. Anything above 2.6
+	// means new per-step garbage crept into the hot paths.
+	if limit := 2.6; perEvent > limit {
+		t.Errorf("allocs/event = %.3f, want <= %.1f (CPS garbage regression)", perEvent, limit)
+	}
+}

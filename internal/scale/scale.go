@@ -137,6 +137,7 @@ type run struct {
 	recv    [][]byte
 	perRank []sim.Time
 	proto   int64
+	sms     []rankSM // Tasks engine: per-rank state-machine frames, one slab
 }
 
 // Run executes one scale allreduce and returns its result.
@@ -181,9 +182,14 @@ func Run(cfg Config) (*Result, error) {
 			env.SpawnIndexed("rank", rank, func(p *sim.Proc) { r.rankProc(p, rank) })
 		}
 	default:
+		// One slab for every rank's continuation frame: a million ranks is
+		// one allocation, and each frame's state machine reuses its single
+		// stored continuation across all repetitions. The start function is
+		// shared too — the task's own index recovers the rank.
+		r.sms = make([]rankSM, P)
+		body := func(t *sim.Task) { r.rankTask(t, t.Num()) }
 		for rank := 0; rank < P; rank++ {
-			rank := rank
-			env.SpawnTask("rank", rank, func(t *sim.Task) { r.rankTask(t, rank) })
+			env.SpawnTask("rank", rank, body)
 		}
 	}
 

@@ -8,6 +8,7 @@ package shm
 
 import (
 	"fmt"
+	"sync"
 
 	"srmcoll/internal/machine"
 	"srmcoll/internal/sim"
@@ -19,15 +20,18 @@ import (
 // value after the machine's wake latency (slightly higher when the spin
 // loop yields its time slice, see machine.WakeLatency).
 type Flag struct {
-	m    *machine.Machine
-	node int
-	val  int
-	cond *sim.Cond
+	m     *machine.Machine
+	node  int
+	val   int
+	cond  *sim.Cond
+	bcast func() // == cond.Broadcast, bound once so Set allocates nothing
 }
 
 // NewFlag creates a flag in node's shared memory, initialized to zero.
 func NewFlag(m *machine.Machine, node int) *Flag {
-	return &Flag{m: m, node: node, cond: m.Env.NewCond()}
+	f := &Flag{m: m, node: node, cond: m.Env.NewCond()}
+	f.bcast = f.cond.Broadcast
+	return f
 }
 
 // Load returns the current value without waiting.
@@ -37,7 +41,7 @@ func (f *Flag) Load() int { return f.val }
 // observe it after the wake latency.
 func (f *Flag) Set(v int) {
 	f.val = v
-	f.m.Env.After(f.m.WakeLatency(), f.cond.Broadcast)
+	f.m.Env.After(f.m.WakeLatency(), f.bcast)
 }
 
 // WaitUntil spins until pred(value) holds. While spinning the task is
@@ -73,6 +77,81 @@ func (f *Flag) WaitGE(p *sim.Proc, v int) {
 	}
 }
 
+// flagWait is a pooled continuation frame for a parked Task-engine flag
+// wait: the predicate, resume, and unwind continuations are bound to the
+// frame once, when the pool first materializes it, so the hot flag waits of
+// a million-rank run allocate nothing per park. A frame is live from park
+// to resume (a task parks on at most one thing at a time, and the simulator
+// drops stale waiters on interrupt or death, so reuse is safe — the same
+// contract the task's retryFn relies on).
+type flagWait struct {
+	f        *Flag
+	t        *sim.Task
+	v        int
+	eq       bool // wait for == v rather than >= v
+	id       int  // open trace span
+	k        func()
+	predFn   func() bool
+	doneFn   func()
+	unwindFn func()
+}
+
+var flagWaitPool = sync.Pool{New: func() any { return new(flagWait) }}
+
+func (fr *flagWait) pred() bool {
+	if fr.eq {
+		return fr.f.val == fr.v
+	}
+	return fr.f.val >= fr.v
+}
+
+func (fr *flagWait) done() {
+	f, t, id, k := fr.f, fr.t, fr.id, fr.k
+	fr.release()
+	t.PopUnwind()
+	f.m.SpinExit(f.node)
+	f.m.Env.Trace.End(id)
+	k()
+}
+
+// unwind is the frame's compensation on a fault-tolerance interrupt: the
+// waiter entry is already dropped by the interrupt delivery, so the frame
+// can be recycled along with exiting the spinner set.
+func (fr *flagWait) unwind() {
+	f, id := fr.f, fr.id
+	fr.release()
+	f.m.SpinExit(f.node)
+	f.m.Env.Trace.End(id)
+}
+
+func (fr *flagWait) release() {
+	fr.f = nil
+	fr.t = nil
+	fr.k = nil
+	flagWaitPool.Put(fr)
+}
+
+// park arms a pooled wait frame for f and suspends t until the predicate
+// holds, exactly mirroring the Proc spin (spinner set, trace span, unwind
+// compensation) without allocating per wait.
+func (f *Flag) park(t *sim.Task, v int, eq bool, k func()) {
+	fr := flagWaitPool.Get().(*flagWait)
+	if fr.predFn == nil {
+		// Bound once per frame, reused across the pool for its lifetime.
+		fr.predFn = fr.pred
+		fr.doneFn = fr.done
+		fr.unwindFn = fr.unwind
+	}
+	fr.f, fr.t, fr.v, fr.eq, fr.k = f, t, v, eq, k
+	fr.id = f.m.Env.Trace.Begin(t.Track(), trace.ClassWaitFlag, "wait:flag", 0)
+	f.m.SpinEnter(f.node)
+	// The Proc path exits the spinner set (and closes the span) via defer so
+	// a fault-tolerance interrupt cannot leave a phantom spinner; for tasks
+	// the same compensation rides the unwind stack (a no-op unless armed).
+	t.PushUnwind(fr.unwindFn)
+	f.cond.WaitUntilOnT(t, f, v, fr.predFn, fr.doneFn)
+}
+
 // WaitGET is WaitGE for the Task engine: the task spins (entering the
 // node's spinner set exactly like a Proc) until the flag value is >= v,
 // then resumes with k. A flag already at the value runs k within the
@@ -82,13 +161,7 @@ func (f *Flag) WaitGET(t *sim.Task, v int, k func()) {
 		k()
 		return
 	}
-	id := f.m.Env.Trace.Begin(t.Track(), trace.ClassWaitFlag, "wait:flag", 0)
-	f.m.SpinEnter(f.node)
-	f.cond.WaitUntilOnT(t, f, v, func() bool { return f.val >= v }, func() {
-		f.m.SpinExit(f.node)
-		f.m.Env.Trace.End(id)
-		k()
-	})
+	f.park(t, v, false, k)
 }
 
 // WaitForT is WaitFor for the Task engine.
@@ -97,13 +170,7 @@ func (f *Flag) WaitForT(t *sim.Task, v int, k func()) {
 		k()
 		return
 	}
-	id := f.m.Env.Trace.Begin(t.Track(), trace.ClassWaitFlag, "wait:flag", 0)
-	f.m.SpinEnter(f.node)
-	f.cond.WaitUntilOnT(t, f, v, func() bool { return f.val == v }, func() {
-		f.m.SpinExit(f.node)
-		f.m.Env.Trace.End(id)
-		k()
-	})
+	f.park(t, v, true, k)
 }
 
 // WaitFor spins until the flag equals v.
@@ -172,6 +239,33 @@ func (fs *FlagSet) WaitAll(p *sim.Proc, v int, skip ...int) {
 		}
 		f.WaitFor(p, v)
 	}
+}
+
+// WaitAllT is WaitAll for the Task engine: the flags are awaited one at a
+// time in index order, exactly as the Proc loop does, then k runs.
+func (fs *FlagSet) WaitAllT(t *sim.Task, v int, k func(), skip ...int) {
+	var step func(i int)
+	step = func(i int) {
+		for {
+			if i >= len(fs.flags) {
+				k()
+				return
+			}
+			sk := false
+			for _, s := range skip {
+				if s == i {
+					sk = true
+					break
+				}
+			}
+			if !sk {
+				break
+			}
+			i++
+		}
+		fs.flags[i].WaitForT(t, v, func() { step(i + 1) })
+	}
+	step(0)
 }
 
 // Segment is a byte buffer in a node's shared memory.

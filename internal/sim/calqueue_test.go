@@ -77,6 +77,80 @@ func TestCalQueueMatchesHeapOrder(t *testing.T) {
 	}
 }
 
+func TestCalQueueTaskEngineLoadProperty(t *testing.T) {
+	// Property test shaped like the Task engine's actual load: a pop is a
+	// task step that immediately reschedules itself (SleepThen), sometimes
+	// spawns siblings at the current instant (SpawnTask), and occasionally
+	// arms a far deadline (suspicion timers). Unlike the mixed push/pop walk
+	// above, every push after warm-up is pop-driven, so the bucket wheel is
+	// forced to grow while the clock advances through it — the regime a
+	// million-rank run keeps it in. 100k+ events, compared pop-for-pop
+	// against the binary-heap reference.
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := newCalQueue()
+		var ref []*item
+		var seq uint64
+		push := func(at Time) {
+			it := &item{t: at, seq: seq}
+			seq++
+			q.push(it)
+			heapPush(&ref, it)
+		}
+		// Warm-up: a fleet of "tasks" all starting at t=0, like
+		// Env.SpawnTask scheduling every rank's first step at spawn time.
+		const fleet = 20000
+		for i := 0; i < fleet; i++ {
+			push(0)
+		}
+		grew := false
+		events := fleet
+		for q.Len() > 0 && events < 120000 {
+			got, want := q.pop(), heapPop(&ref)
+			if got != want {
+				t.Fatalf("seed %d: pop = (t=%v seq=%d), heap order wants (t=%v seq=%d)",
+					seed, got.t, got.seq, want.t, want.seq)
+			}
+			now := got.t
+			events++
+			// The popped step reschedules like a protocol round: usually a
+			// latency-scale SleepThen, sometimes an immediate yield,
+			// occasionally a watchdog-scale deadline.
+			switch rng.Intn(20) {
+			case 0:
+				push(now + Time(5000+rng.Intn(50000)))
+			case 1, 2:
+				push(now) // YieldThen
+			default:
+				push(now + Time(rng.Float64()*25))
+			}
+			// And sometimes fans out helpers at the current instant, like
+			// SpawnTask from inside a step.
+			if rng.Intn(50) == 0 {
+				for j, k := 0, 1+rng.Intn(8); j < k; j++ {
+					push(now)
+				}
+			}
+			if len(q.buckets) > calInitBuckets {
+				grew = true
+			}
+			if q.Len() != len(ref) {
+				t.Fatalf("seed %d: Len() = %d, reference holds %d", seed, q.Len(), len(ref))
+			}
+		}
+		if !grew {
+			t.Fatalf("seed %d: bucket wheel never grew under task load", seed)
+		}
+		for q.Len() > 0 {
+			got, want := q.pop(), heapPop(&ref)
+			if got != want {
+				t.Fatalf("seed %d: drain pop = (t=%v seq=%d), want (t=%v seq=%d)",
+					seed, got.t, got.seq, want.t, want.seq)
+			}
+		}
+	}
+}
+
 func TestCalQueueOverflowRollover(t *testing.T) {
 	// Every deadline here lies beyond one calendar year (calInitBuckets *
 	// calWidth of virtual time), as heartbeat timers do, so all of them take

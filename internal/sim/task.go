@@ -22,12 +22,13 @@ import "strconv"
 // item, ordered by (time, sequence number) like every other occurrence.
 type Task struct {
 	env    *Env
-	prefix string // full name, or name prefix when num >= 0
-	num    int    // index appended to prefix; -1 when prefix is the name
-	name   string // cached formatted name (built on first Name call)
-	track  int    // trace track id, or -1 when untracked
-	k      func() // continuation to run at the next resume
-	parked bool   // suspended on a waitable with no scheduled wake-up
+	prefix string      // full name, or name prefix when num >= 0
+	num    int         // index appended to prefix; -1 when prefix is the name
+	name   string      // cached formatted name (built on first Name call)
+	track  int         // trace track id, or -1 when untracked
+	k      func()      // continuation to run at the next resume
+	start  func(*Task) // first step, held directly so spawning allocates no closure
+	parked bool        // suspended on a waitable with no scheduled wake-up
 	done   bool
 	killed string // non-empty: injected crash reason, raised at next resume
 	intr   any    // pending interrupt payload, delivered at next resume
@@ -44,6 +45,26 @@ type Task struct {
 	waitObj   WaitDescriber
 	waitWant  int
 	waitSince Time
+
+	// Struct-held predicate-wait frame. waitUntilT re-arms through retryFn —
+	// allocated once per task — instead of building a fresh recursive closure
+	// per wait, so the hottest protocol loops (flag spins, counter waits)
+	// park and retry without CPS garbage.
+	waitPred func() bool
+	waitK    func()
+	predCond *Cond
+	predObj  WaitDescriber
+	predWant int
+	retryFn  func()
+
+	// Unwind stack, armed only inside fault-sensitive operations: blocking
+	// primitives that would restore state via defer on the Proc engine
+	// (dispatcher inCall, spinner counts, open trace spans) push a
+	// compensation here instead, and an interrupt or failure delivery runs
+	// the stack LIFO. Disarmed (the default), Push/Pop are no-ops so the
+	// fault-free hot paths pay a single bool check.
+	unwinds     []func()
+	unwindArmed bool
 }
 
 // taskParkable is a synchronization resource a Task can park on — the Task
@@ -63,8 +84,7 @@ type taskParkable interface {
 // A panic inside a task step is recovered, recorded as a ProcFailure (see
 // Env.Failures), and finishes the task, like a Proc panic.
 func (e *Env) SpawnTask(prefix string, num int, fn func(*Task)) *Task {
-	t := &Task{env: e, prefix: prefix, num: num, track: -1}
-	t.k = func() { fn(t) }
+	t := &Task{env: e, prefix: prefix, num: num, track: -1, start: fn}
 	e.live++
 	e.pushTask(e.now, t)
 	return t
@@ -81,6 +101,11 @@ func (t *Task) SetTrack(track int) { t.track = track }
 
 // Track returns the task's trace track (-1 when untracked).
 func (t *Task) Track() int { return t.track }
+
+// Num returns the index passed to SpawnTask (-1 when the prefix alone names
+// the task). Spawn loops use it to share one start function across every
+// task instead of capturing the index in a per-task closure.
+func (t *Task) Num() int { return t.num }
 
 // Name returns the task's name, formatted on first use like Proc.Name.
 func (t *Task) Name() string {
@@ -201,12 +226,15 @@ func (e *Env) runTask(t *Task) {
 	}
 	if t.killed != "" {
 		t.k = nil
+		t.start = nil
 		e.failTask(t, Crashed{Reason: t.killed})
 		return
 	}
 	if v := t.intr; v != nil {
 		t.intr = nil
 		t.k = nil // the interrupted wait's continuation must not run
+		t.start = nil
+		t.clearPredWait()
 		if h := t.OnInterrupt; h != nil {
 			e.stepTask(t, func() { h(v) })
 		} else {
@@ -214,9 +242,29 @@ func (e *Env) runTask(t *Task) {
 		}
 		return
 	}
+	if fn := t.start; fn != nil {
+		t.start = nil
+		e.stepTaskStart(t, fn)
+		return
+	}
 	k := t.k
 	t.k = nil
 	e.stepTask(t, k)
+}
+
+// stepTaskStart runs the spawn function as the task's first step, with the
+// same recovery and fall-off-the-end handling as stepTask.
+func (e *Env) stepTaskStart(t *Task, fn func(*Task)) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.failTask(t, r)
+		}
+		if !t.done && t.k == nil && !t.parked {
+			t.done = true
+			e.live--
+		}
+	}()
+	fn(t)
 }
 
 // stepTask runs one continuation. A step that neither suspended nor
@@ -250,6 +298,13 @@ func (e *Env) failTask(t *Task, cause any) {
 		t.waitObj = nil
 		delete(e.tparked, t)
 	}
+	if t.unwindArmed {
+		// Restore protocol state the dead task was holding (dispatcher
+		// inCall, spinner counts), as the panic unwind of a Proc would.
+		t.RunUnwinds()
+		t.unwindArmed = false
+	}
+	t.clearPredWait()
 	t.k = nil
 	t.done = true
 	e.live--
@@ -305,15 +360,84 @@ func (c *Cond) waitUntilT(t *Task, obj WaitDescriber, want int, pred func() bool
 		k()
 		return
 	}
-	var retry func()
-	retry = func() {
-		if pred() {
-			k()
-			return
-		}
-		c.twaiters = append(c.twaiters, t)
-		t.parkOnT(c, obj, want, retry)
+	// Hold the predicate-wait frame in the task itself. Re-parking goes
+	// through retryFn, built once for the task's lifetime, rather than a
+	// recursive closure allocated per wait: a million-rank run re-checks
+	// these predicates billions of times.
+	t.waitPred = pred
+	t.waitK = k
+	t.predCond = c
+	t.predObj = obj
+	t.predWant = want
+	if t.retryFn == nil {
+		t.retryFn = t.retryWait
 	}
 	c.twaiters = append(c.twaiters, t)
-	t.parkOnT(c, obj, want, retry)
+	t.parkOnT(c, obj, want, t.retryFn)
+}
+
+// retryWait is the shared resume continuation for waitUntilT parks: it
+// re-evaluates the stored predicate and either releases the stored
+// continuation or parks again on the same Cond.
+func (t *Task) retryWait() {
+	if t.waitPred() {
+		k := t.waitK
+		t.clearPredWait()
+		k()
+		return
+	}
+	c := t.predCond
+	c.twaiters = append(c.twaiters, t)
+	t.parkOnT(c, t.predObj, t.predWant, t.retryFn)
+}
+
+// clearPredWait drops the predicate-wait frame so the closures it holds can
+// be collected; called when the wait completes or the task is torn down.
+func (t *Task) clearPredWait() {
+	t.waitPred = nil
+	t.waitK = nil
+	t.predCond = nil
+	t.predObj = nil
+}
+
+// SetUnwindArmed enables (or disables and clears) the task's unwind stack.
+// Fault-tolerant execution arms it for the duration of a collective so
+// blocking primitives can register the compensations a Proc would run via
+// defer; everything else leaves it disarmed and pays nothing.
+func (t *Task) SetUnwindArmed(on bool) {
+	t.unwindArmed = on
+	if !on {
+		t.unwinds = t.unwinds[:0]
+	}
+}
+
+// UnwindArmed reports whether PushUnwind currently records compensations.
+func (t *Task) UnwindArmed() bool { return t.unwindArmed }
+
+// PushUnwind records fn to run if the task is interrupted or killed before
+// the matching PopUnwind. No-op while the stack is disarmed.
+func (t *Task) PushUnwind(fn func()) {
+	if t.unwindArmed {
+		t.unwinds = append(t.unwinds, fn)
+	}
+}
+
+// PopUnwind discards the most recent compensation without running it — the
+// protected region completed normally. No-op while disarmed or empty.
+func (t *Task) PopUnwind() {
+	if n := len(t.unwinds); t.unwindArmed && n > 0 {
+		t.unwinds[n-1] = nil
+		t.unwinds = t.unwinds[:n-1]
+	}
+}
+
+// RunUnwinds runs the recorded compensations LIFO and clears the stack,
+// the CPS analogue of a panic unwinding a Proc's deferred restores.
+func (t *Task) RunUnwinds() {
+	for i := len(t.unwinds) - 1; i >= 0; i-- {
+		fn := t.unwinds[i]
+		t.unwinds[i] = nil
+		t.unwinds = t.unwinds[:i]
+		fn()
+	}
 }

@@ -227,6 +227,167 @@ func TestTaskNamesLazily(t *testing.T) {
 	}
 }
 
+func TestKillTaskParkedInWaitUntilOnT(t *testing.T) {
+	// Regression: a task killed while parked mid-WaitUntilOnT must leave the
+	// Cond's waiter list exactly once — the kill drops the entry, and the
+	// later broadcast must not find a stale one (double-unpark would panic
+	// "unblock of task that is not parked").
+	e := NewEnv()
+	c := e.NewCond().Named("pred-flag")
+	val := 0
+	var tk *Task
+	tk = e.SpawnTask("victim", -1, func(tk *Task) {
+		c.WaitUntilOnT(tk, nil, 3, func() bool { return val >= 3 }, func() {
+			t.Error("killed task ran its continuation")
+		})
+	})
+	e.At(1, func() { val = 1; c.Broadcast() }) // unsatisfied: re-parks through retryFn
+	e.At(2, func() { e.KillTask(tk, "chaos") })
+	e.At(3, func() { val = 3; c.Broadcast() }) // must not touch the corpse
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if len(c.twaiters) != 0 {
+		t.Errorf("cond still holds %d task waiters after the kill", len(c.twaiters))
+	}
+	if len(e.tparked) != 0 {
+		t.Errorf("%d tasks still marked parked", len(e.tparked))
+	}
+	if tk.waitPred != nil || tk.predCond != nil {
+		t.Error("predicate-wait frame not cleared on task death")
+	}
+}
+
+func TestInterruptTaskParkedInWaitUntilOnT(t *testing.T) {
+	// An interrupt delivered mid-predicate-wait removes the waiter entry once
+	// and hands control to OnInterrupt; the handler may re-arm a fresh wait on
+	// the same Cond without leaving a duplicate entry behind.
+	e := NewEnv()
+	c := e.NewCond().Named("pred-flag")
+	val := 0
+	resumed := false
+	var tk *Task
+	tk = e.SpawnTask("w", -1, func(tk *Task) {
+		tk.OnInterrupt = func(payload any) {
+			if got := len(c.twaiters); got != 0 {
+				t.Errorf("cond holds %d waiters during interrupt delivery, want 0", got)
+			}
+			c.WaitUntilOnT(tk, nil, 5, func() bool { return val >= 5 }, func() { resumed = true })
+		}
+		c.WaitUntilOnT(tk, nil, 5, func() bool { return val >= 5 }, func() {
+			t.Error("interrupted wait's continuation ran")
+		})
+	})
+	e.At(1, func() { e.InterruptTask(tk, "poke") })
+	e.At(2, func() {
+		if got := len(c.twaiters); got != 1 {
+			t.Errorf("cond holds %d waiters after re-arm, want exactly 1", got)
+		}
+		val = 5
+		c.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Error("re-armed wait never resumed")
+	}
+	if len(c.twaiters) != 0 {
+		t.Errorf("cond still holds %d waiters after completion", len(c.twaiters))
+	}
+}
+
+func TestKillTaskAfterBroadcastWakeInFlight(t *testing.T) {
+	// Broadcast removes the waiter and schedules the resume; a kill landing
+	// before the resume runs must not try to drop the waiter again, and the
+	// queued resume must deliver the crash instead of the retry.
+	e := NewEnv()
+	c := e.NewCond()
+	var tk *Task
+	tk = e.SpawnTask("victim", -1, func(tk *Task) {
+		c.WaitUntilOnT(tk, nil, -1, func() bool { return false }, func() {})
+	})
+	e.At(1, func() {
+		c.Broadcast() // wake in flight: waiter removed, resume queued
+		e.KillTask(tk, "chaos")
+	})
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if len(c.twaiters) != 0 {
+		t.Errorf("cond holds %d waiters", len(c.twaiters))
+	}
+	if f := ce.Failures[0]; f.Time != 1 {
+		t.Errorf("death recorded at t=%v, want 1", f.Time)
+	}
+}
+
+func TestWaitUntilTReusesRetryFrame(t *testing.T) {
+	// The predicate wait must re-park through the task's single retryFn and
+	// clear the frame when the wait completes, so back-to-back waits reuse
+	// the same continuation object instead of allocating one per park.
+	e := NewEnv()
+	c := e.NewCond()
+	val := 0
+	waits := 0
+	e.SpawnTask("w", -1, func(tk *Task) {
+		first := tk.retryFn // nil until the first park
+		c.WaitUntilT(tk, func() bool { return val >= 2 }, func() {
+			waits++
+			if tk.waitPred != nil || tk.waitK != nil || tk.predCond != nil {
+				t.Error("frame not cleared after a completed wait")
+			}
+			c.WaitUntilT(tk, func() bool { return val >= 4 }, func() { waits++ })
+			if tk.retryFn == nil {
+				t.Error("retryFn dropped between waits")
+			}
+		})
+		if first != nil {
+			t.Error("retryFn allocated before any park")
+		}
+	})
+	for i := 1; i <= 4; i++ {
+		v := i
+		e.At(Time(i), func() { val = v; c.Broadcast() })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waits != 2 {
+		t.Errorf("completed %d waits, want 2", waits)
+	}
+}
+
+func TestTaskUnwindStack(t *testing.T) {
+	// Armed: kill runs pending compensations LIFO; popped entries don't run.
+	// Disarmed: pushes are dropped.
+	e := NewEnv()
+	var order []string
+	var tk *Task
+	tk = e.SpawnTask("u", -1, func(tk *Task) {
+		tk.PushUnwind(func() { order = append(order, "dropped") }) // disarmed: no-op
+		tk.SetUnwindArmed(true)
+		tk.PushUnwind(func() { order = append(order, "outer") })
+		tk.PushUnwind(func() { order = append(order, "popped") })
+		tk.PopUnwind()
+		tk.PushUnwind(func() { order = append(order, "inner") })
+		tk.SleepThen(100, func() {})
+	})
+	e.At(1, func() { e.KillTask(tk, "chaos") })
+	err := e.Run()
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want CrashError", err)
+	}
+	if fmt.Sprint(order) != "[inner outer]" {
+		t.Errorf("unwinds ran as %v, want [inner outer]", order)
+	}
+}
+
 // findTask returns the single parked task with the given name.
 func findTask(e *Env, name string) *Task {
 	for tk := range e.tparked {

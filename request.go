@@ -82,11 +82,13 @@ type reqStream struct {
 type runState struct {
 	env        *sim.Env
 	streams    []*reqStream
-	helperRank map[string]int      // helper proc name -> issuing rank
+	helperRank map[string]int      // helper proc/task name -> issuing rank
 	helpers    map[int][]*sim.Proc // issuing rank -> helper procs (FT kills them with the rank)
+	thelpers   map[int][]*sim.Task // Tasks engine: issuing rank -> helper tasks
 	nextTrack  int                 // next helper trace track (ranks use 0..P-1, core helpers P..2P-1)
 	subs       map[subKey]*Comm
-	ft         *ftState // nil unless the cluster enabled fault tolerance
+	tsubs      map[subKey]*TComm // Tasks engine sub-communicator cache
+	ft         *ftState          // nil unless the cluster enabled fault tolerance
 }
 
 type subKey struct {
@@ -100,8 +102,10 @@ func newRunState(env *sim.Env, p int) *runState {
 		streams:    make([]*reqStream, p),
 		helperRank: make(map[string]int),
 		helpers:    make(map[int][]*sim.Proc),
+		thelpers:   make(map[int][]*sim.Task),
 		nextTrack:  2 * p,
 		subs:       make(map[subKey]*Comm),
+		tsubs:      make(map[subKey]*TComm),
 	}
 	for i := range rs.streams {
 		rs.streams[i] = &reqStream{}

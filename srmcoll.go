@@ -242,6 +242,7 @@ type Cluster struct {
 	ft      FTConfig
 	tracing bool
 	tuned   *TuneTable
+	engine  Engine // RunT execution engine (EngineProcs default)
 }
 
 // NewCluster validates the configuration and returns a cluster handle.
@@ -859,7 +860,8 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 	procs := make([]*sim.Proc, m.P())
 	var ft *ftState
 	if cl.ft.Enabled {
-		ft = newFTState(env, dom.MarkDead, procs, rs, cl.ft)
+		ft = newFTState(env, dom.MarkDead, m.P(), rs, cl.ft)
+		ft.procs = procs
 		rs.ft = ft
 		env.OnFailure = ft.onFailure
 	}
