@@ -20,6 +20,8 @@
 //	srmbench -fig crossover  # per-tree crossover curves on a hierarchical topology
 //	srmbench -topo 12x8/3    # topology shape for -fig crossover and -tunejson
 //	srmbench -tunejson F     # run the autotuner, write the decision table to F
+//	srmbench -fig train      # ML-training workload: step time and hidden comm per allreduce family
+//	srmbench -trainjson F    # write the training-workload sweep to F
 //	srmbench -cpuprofile F   # write a pprof CPU profile of the run to F
 //	srmbench -memprofile F   # write a pprof heap profile at exit to F
 package main
@@ -64,6 +66,8 @@ func main() {
 		"hierarchical topology shape NxT[/leaf[/g1...]] (e.g. 12x8/3) for -fig crossover and -tunejson")
 	tunejson := flag.String("tunejson", "",
 		"run the (op, size, topology) autotuner and write the decision-table JSON to this file")
+	trainjson := flag.String("trainjson", "",
+		"run the ML-training allreduce workload sweep and write the JSON report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -72,7 +76,8 @@ func main() {
 	// non-zero exit instead of surfacing mid-run (or never, for values only
 	// reached after hours of sweeping).
 	validFigs := map[string]bool{"": true, "2": true, "6": true, "7": true, "8": true,
-		"9": true, "10": true, "11": true, "12": true, "chaos": true, "crossover": true, "all": true}
+		"9": true, "10": true, "11": true, "12": true, "chaos": true, "crossover": true,
+		"train": true, "all": true}
 	validAbls := map[string]bool{"": true, "trees": true, "smpbcast": true, "yield": true,
 		"chunks": true, "eager": true, "interrupts": true, "late": true, "15of16": true,
 		"daemons": true, "model": true, "overlap": true, "all": true}
@@ -114,8 +119,8 @@ func main() {
 	}
 	if !bad && *fig == "" && !*headline && *ablation == "" && !*extension &&
 		*benchjson == "" && *traceOut == "" && *overlapjson == "" && *chaosjson == "" &&
-		*ranks == 0 && *tunejson == "" {
-		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson, -chaosjson, -tunejson, -ranks or -trace")
+		*ranks == 0 && *tunejson == "" && *trainjson == "" {
+		fmt.Fprintln(os.Stderr, "srmbench: nothing to do; pass -fig, -headline, -extension, -ablation, -benchjson, -overlapjson, -chaosjson, -tunejson, -trainjson, -ranks or -trace")
 		bad = true
 	}
 	if bad {
@@ -246,10 +251,41 @@ func main() {
 	g := exp.DefaultGrid()
 	chaosCfg := exp.DefaultChaosConfig()
 	tuneCfg := exp.DefaultTuneConfig()
+	trainCfg := exp.DefaultTrainConfig()
 	if *quick {
 		g = exp.QuickGrid()
 		chaosCfg = exp.QuickChaosConfig()
 		tuneCfg = exp.QuickTuneConfig()
+		trainCfg = exp.QuickTrainConfig()
+	}
+
+	// -fig train and -trainjson share one sweep, run at most once.
+	var trainRep *exp.TrainReport
+	runTrainOnce := func() *exp.TrainReport {
+		if trainRep == nil {
+			rep, err := exp.RunTrain(trainCfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+				os.Exit(1)
+			}
+			trainRep = rep
+		}
+		return trainRep
+	}
+
+	if *trainjson != "" {
+		rep := runTrainOnce()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*trainjson, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "srmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *trainjson)
 	}
 
 	if *tunejson != "" {
@@ -364,6 +400,12 @@ func main() {
 			emit(exp.Fig12(g))
 		case f == "chaos":
 			emit(exp.ChaosTable(exp.RunChaos(chaosCfg)))
+		case f == "train":
+			rep := runTrainOnce()
+			for _, t := range exp.FigTrain(trainCfg, rep) {
+				emit(t)
+			}
+			fmt.Print(exp.TrainHeadline(rep))
 		case f == "crossover":
 			spec := *topo
 			if spec == "" {

@@ -149,6 +149,31 @@ func (g *Group) Allreduce(p *sim.Proc, rank int, send, recv []byte, dt dtype.Typ
 	if len(recv) != len(send) {
 		panic(fmt.Sprintf("core: Allreduce recv %d bytes, want %d", len(recv), len(send)))
 	}
+	// The resolver is a pure function of the size, so every rank of the
+	// group dispatches the same call to the same algorithm family.
+	switch g.s.allreduceAlg(len(send)) {
+	case AlgRing:
+		st, release := g.acquire(rank, func() any { return newRingState(g, len(send), ds) })
+		defer release()
+		a := st.(*ringState)
+		a.check(len(send), ds, rank)
+		a.run(p, rank, send, recv)
+		return
+	case AlgRHD:
+		st, release := g.acquire(rank, func() any { return newRHDState(g, len(send), ds) })
+		defer release()
+		a := st.(*rhdState)
+		a.check(len(send), ds, rank)
+		a.run(p, rank, send, recv)
+		return
+	case AlgDualRoot:
+		st, release := g.acquire(rank, func() any { return newDualRootState(g, len(send), ds) })
+		defer release()
+		a := st.(*dualRootState)
+		a.check(len(send), ds, rank)
+		a.run(p, rank, send, recv)
+		return
+	}
 	st, release := g.acquire(rank, func() any { return newAllreduceState(g, len(send), ds) })
 	defer release()
 	a := st.(*allreduceState)

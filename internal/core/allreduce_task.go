@@ -24,6 +24,26 @@ func (g *Group) AllreduceT(t *sim.Task, rank int, send, recv []byte, dt dtype.Ty
 	if len(recv) != len(send) {
 		panic(fmt.Sprintf("core: Allreduce recv %d bytes, want %d", len(recv), len(send)))
 	}
+	switch g.s.allreduceAlg(len(send)) {
+	case AlgRing:
+		st, release := g.acquire(rank, func() any { return newRingState(g, len(send), ds) })
+		a := st.(*ringState)
+		a.check(len(send), ds, rank)
+		a.runT(t, rank, send, recv, opDone(t, release, kont))
+		return
+	case AlgRHD:
+		st, release := g.acquire(rank, func() any { return newRHDState(g, len(send), ds) })
+		a := st.(*rhdState)
+		a.check(len(send), ds, rank)
+		a.runT(t, rank, send, recv, opDone(t, release, kont))
+		return
+	case AlgDualRoot:
+		st, release := g.acquire(rank, func() any { return newDualRootState(g, len(send), ds) })
+		a := st.(*dualRootState)
+		a.check(len(send), ds, rank)
+		a.runT(t, rank, send, recv, opDone(t, release, kont))
+		return
+	}
 	st, release := g.acquire(rank, func() any { return newAllreduceState(g, len(send), ds) })
 	a := st.(*allreduceState)
 	if a.size != len(send) || a.ds != ds {

@@ -56,6 +56,14 @@ type Options struct {
 	// InterTree. The autotuner's decision table installs a resolver here;
 	// nil keeps the static InterTree for every operation.
 	TreeFor func(op string, size int) tree.Kind
+
+	// AllreduceAlg selects the allreduce algorithm family (default AlgAuto,
+	// the paper's size-switched recursive-doubling / chunk-pipeline pair).
+	AllreduceAlg Alg
+	// AlgFor, when set, resolves the allreduce algorithm per message size;
+	// a non-Auto return overrides AllreduceAlg. The autotuner's decision
+	// table installs a resolver here.
+	AlgFor func(size int) Alg
 }
 
 // interKind resolves the inter-node tree kind for one operation instance.
@@ -64,6 +72,70 @@ func (s *SRM) interKind(op string, size int) tree.Kind {
 		return s.opt.TreeFor(op, size)
 	}
 	return s.opt.InterTree
+}
+
+// Alg selects the allreduce algorithm family between node masters. The SMP
+// stages (Figure-2 reduce in, Figure-3 broadcast out) are shared by every
+// family; Alg only changes the inter-node exchange.
+type Alg int
+
+const (
+	// AlgAuto is the paper's configuration: recursive doubling up to
+	// SRMAllreduceRD bytes, the four-stage chunk pipeline above.
+	AlgAuto Alg = iota
+	// AlgRing is the bandwidth-optimal ring: a reduce-scatter pass followed
+	// by an allgather pass, each node sending to its right neighbour.
+	AlgRing
+	// AlgRHD is Rabenseifner's recursive halving/doubling: halve the vector
+	// while reduce-scattering across power-of-two masters, then double back
+	// up in an allgather; non-power-of-two counts fold extras in and out.
+	AlgRHD
+	// AlgDualRoot is Träff's doubly-pipelined dual-root scheme: chunks
+	// alternate between two trees rooted at different nodes so both the
+	// reduce and broadcast pipelines stay busy in both directions.
+	AlgDualRoot
+)
+
+// String returns the tuner/Variant spelling of the algorithm.
+func (a Alg) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgRing:
+		return "ring"
+	case AlgRHD:
+		return "rhd"
+	case AlgDualRoot:
+		return "dualroot"
+	}
+	return fmt.Sprintf("Alg(%d)", int(a))
+}
+
+// ParseAlg parses the spelling String produces.
+func ParseAlg(s string) (Alg, error) {
+	switch s {
+	case "auto", "":
+		return AlgAuto, nil
+	case "ring":
+		return AlgRing, nil
+	case "rhd":
+		return AlgRHD, nil
+	case "dualroot":
+		return AlgDualRoot, nil
+	}
+	return AlgAuto, fmt.Errorf("core: unknown allreduce algorithm %q", s)
+}
+
+// allreduceAlg resolves the algorithm for one allreduce instance. The
+// resolver is a pure function of the message size, so every rank of a group
+// picks the same family for the same call.
+func (s *SRM) allreduceAlg(size int) Alg {
+	if s.opt.AlgFor != nil {
+		if a := s.opt.AlgFor(size); a != AlgAuto {
+			return a
+		}
+	}
+	return s.opt.AllreduceAlg
 }
 
 // SRM is the collective-operations engine for one machine. All tasks share

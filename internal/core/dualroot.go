@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"srmcoll/internal/rma"
+	"srmcoll/internal/shm"
+	"srmcoll/internal/sim"
+	"srmcoll/internal/trace"
+)
+
+// dualRootState is the shared state of one doubly-pipelined dual-root
+// allreduce (AlgDualRoot, after Träff): the message is cut into the same
+// pipeline chunks as the Figure-5 path, but even chunks are reduced up and
+// broadcast down a tree rooted at the first participating node while odd
+// chunks use a second tree rooted at the second, so neither root is the
+// bottleneck for the whole message and both directions of every master's
+// links stay busy. Within each tree the protocol is exactly the Figure-5
+// pipeline: double-buffered slots keyed by the chunk's parity within its
+// tree, two-deep credits from parent back to child, direct puts into the
+// children's receive buffers on the broadcast side, and a helper process
+// per master running the broadcast stages.
+type dualRootState struct {
+	g    *Group
+	size int
+	ds   dataspec
+	sp   []span
+
+	rn       []*redNode
+	resBuf   [][]byte
+	resReady []*sim.Event
+	pub      []publisher
+
+	emb        [2]gEmbed
+	pslot      [2][][2][]byte
+	arr        [2][][2]*rma.Counter
+	credit     [2][]*rma.Counter
+	bArr       [2][][2]*rma.Counter
+	chunkDone  [2]*shm.Flag // at each tree's root master: chunks fully reduced
+	helperDone []*sim.Event
+}
+
+func newDualRootState(g *Group, size int, ds dataspec) *dualRootState {
+	s := g.s
+	cfg := s.m.Cfg
+	a := &dualRootState{g: g, size: size, ds: ds}
+	// Same pipelining depth as the Figure-5 path: at least four chunks in
+	// flight until the full large chunk size pays off.
+	chunk := min(cfg.SRMLargeChunk, max((size+3)/4, cfg.SRMSmallChunk))
+	if ds.dt.Size() > 0 {
+		chunk -= chunk % ds.dt.Size()
+	}
+	a.sp = chunks(size, max(chunk, 1))
+	nn := len(g.lay.nodes)
+	chunkBytes := a.sp[0].n
+	a.rn = make([]*redNode, nn)
+	a.resBuf = make([][]byte, nn)
+	a.resReady = make([]*sim.Event, nn)
+	a.pub = make([]publisher, nn)
+	a.helperDone = make([]*sim.Event, nn)
+	for x, nd := range g.lay.nodes {
+		a.rn[x] = s.newRedNode(nd, 0, len(g.lay.local[x]), chunkBytes)
+		a.resReady[x] = s.m.Env.NewEvent()
+		a.pub[x] = s.newPublisher(nd, 0, len(g.lay.local[x]), chunkBytes)
+		a.helperDone[x] = s.m.Env.NewEvent()
+	}
+	roots := [2]int{0, min(1, nn-1)}
+	kind := s.interKind("allreduce", size)
+	for ti := 0; ti < 2; ti++ {
+		a.emb[ti] = g.lay.embed(kind, s.opt.IntraTree, g.lay.local[roots[ti]][0])
+		a.chunkDone[ti] = shm.NewFlag(s.m, g.lay.nodes[roots[ti]])
+		a.pslot[ti] = make([][2][]byte, nn)
+		a.arr[ti] = make([][2]*rma.Counter, nn)
+		a.credit[ti] = make([]*rma.Counter, nn)
+		a.bArr[ti] = make([][2]*rma.Counter, nn)
+		for x := 0; x < nn; x++ {
+			a.pslot[ti][x] = [2][]byte{make([]byte, chunkBytes), make([]byte, chunkBytes)}
+			a.arr[ti][x] = [2]*rma.Counter{
+				s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+				s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+			}
+			a.credit[ti][x] = s.dom.NewCounter(2).TraceClass(trace.ClassWaitCredit)
+			a.bArr[ti][x] = [2]*rma.Counter{
+				s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+				s.dom.NewCounter(0).TraceClass(trace.ClassWaitArrive),
+			}
+		}
+	}
+	return a
+}
+
+func (a *dualRootState) check(size int, ds dataspec, rank int) {
+	if a.size != size || a.ds != ds {
+		panic(fmt.Sprintf("core: Allreduce mismatch at rank %d", rank))
+	}
+}
+
+func (a *dualRootState) run(p *sim.Proc, rank int, send, recv []byte) {
+	g := a.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if l != 0 {
+		a.rn[x].worker(p, l, send, a.sp, a.ds)
+		for k, c := range a.sp {
+			a.pub[x].Consume(p, l, k, recv[c.off:c.off+c.n])
+		}
+		return
+	}
+	a.resBuf[x] = recv
+	a.resReady[x].Trigger()
+	// Interrupts stay enabled at every size (unlike the small-message
+	// protocols): the broadcast helper waits on counters without entering
+	// RMA calls on the shared endpoint, so deferred delivery would strand
+	// its arrival notifications while the reduce side blocks in non-RMA
+	// waits — the same reason masterLarge never runs quiet.
+	a.master(p, g.s.dom.Endpoint(rank), x, send, recv)
+}
+
+// master runs the reduce stages of both trees on the main process and the
+// broadcast stages on a helper, walking chunks in global order; chunk k
+// belongs to tree k%2 and is the (k/2)-th chunk of that tree.
+func (a *dualRootState) master(p *sim.Proc, ep *rma.Endpoint, x int, send, recv []byte) {
+	g := a.g
+	s := g.s
+
+	// Broadcast-side helper.
+	s.m.Env.SpawnIndexed("srm-arb-", x, func(hp *sim.Proc) {
+		if tr := s.m.Env.Trace; tr != nil {
+			// The helper gets its own timeline above the rank tracks so its
+			// broadcast-stage spans do not interleave with the reduce side.
+			ht := s.m.P() + ep.Rank
+			hp.SetTrack(ht)
+			tr.NameTrack(ht, "rank"+strconv.Itoa(ep.Rank)+"-bcast")
+		}
+		defer a.helperDone[x].Trigger()
+		for k, c := range a.sp {
+			ti, par := k%2, (k/2)%2
+			if x == a.emb[ti].inter.Root {
+				a.chunkDone[ti].WaitGE(hp, k/2+1)
+			} else {
+				a.bArr[ti][x][par].WaitValue(hp, 1)
+			}
+			src := recv[c.off : c.off+c.n]
+			for _, child := range a.emb[ti].inter.Children[x] {
+				hp.Wait(a.resReady[child])
+				dst := a.resBuf[child][c.off : c.off+c.n]
+				ep.Put(hp, g.masterEp(child), dst, src, nil, a.bArr[ti][child][par], nil)
+			}
+			a.pub[x].Publish(hp, k, src, false)
+		}
+		a.pub[x].waitConsumed(hp, len(a.sp)-1)
+	})
+
+	// Reduce side.
+	for k, c := range a.sp {
+		ti, par := k%2, (k/2)%2
+		interKids := a.emb[ti].inter.Children[x]
+		atRoot := x == a.emb[ti].inter.Root
+		tchunk := recv[c.off : c.off+c.n]
+		own := send[c.off : c.off+c.n]
+		have := a.rn[x].masterChunk(p, k, tchunk, own, a.ds)
+		for _, child := range interKids {
+			ep.Waitcntr(p, a.arr[ti][child][par], 1)
+			slot := a.pslot[ti][child][par][:c.n]
+			if c.n > 0 {
+				if have {
+					a.ds.acc(tchunk, slot)
+				} else {
+					a.ds.into(tchunk, own, slot)
+				}
+				s.combineCharge(p, c.n, a.ds.dt.Size())
+			}
+			have = true
+			// The child's next send in this tree is chunk k+2; returning
+			// this credit enables the one after that.
+			if k+4 < len(a.sp) {
+				ep.PutZero(p, g.masterEp(child), a.credit[ti][child])
+			}
+		}
+		if !atRoot {
+			src := tchunk
+			if !have {
+				src = own
+			}
+			ep.Waitcntr(p, a.credit[ti][x], 1)
+			parent := g.masterEp(a.emb[ti].inter.Parent[x])
+			ep.Put(p, parent, a.pslot[ti][x][par][:c.n], src, nil, a.arr[ti][x][par], nil)
+		} else {
+			if !have && c.n > 0 {
+				s.m.Memcpy(p, g.lay.nodes[x], tchunk, own)
+			}
+			a.chunkDone[ti].Set(k/2 + 1)
+		}
+	}
+	p.Wait(a.helperDone[x])
+}

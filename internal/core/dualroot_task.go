@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strconv"
+
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// runT is dualRootState.run for the Task engine: the same calls in the
+// same order, with every blocking primitive replaced by its *T
+// counterpart.
+func (a *dualRootState) runT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	g := a.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if l != 0 {
+		a.rn[x].workerT(t, l, send, a.sp, a.ds, func() {
+			var step func(k int)
+			step = func(k int) {
+				if k >= len(a.sp) {
+					kont()
+					return
+				}
+				c := a.sp[k]
+				a.pub[x].ConsumeT(t, l, k, recv[c.off:c.off+c.n], func() { step(k + 1) })
+			}
+			step(0)
+		})
+		return
+	}
+	a.resBuf[x] = recv
+	a.resReady[x].Trigger()
+	// Interrupts stay enabled at every size, as in run: the broadcast
+	// helper's counter waits never enter RMA calls on the shared endpoint,
+	// so deferred delivery would strand them.
+	a.masterT(t, g.s.dom.Endpoint(rank), x, send, recv, kont)
+}
+
+// masterT is dualRootState.master for the Task engine: the chunk loops
+// become tail-recursive chunk/child functions, the broadcast stages run on
+// a helper task.
+func (a *dualRootState) masterT(t *sim.Task, ep *rma.Endpoint, x int, send, recv []byte, kont func()) {
+	g := a.g
+	s := g.s
+
+	// Broadcast-side helper.
+	s.m.Env.SpawnTask("srm-arb-", x, func(hp *sim.Task) {
+		if tr := s.m.Env.Trace; tr != nil {
+			// The helper gets its own timeline above the rank tracks so its
+			// broadcast-stage spans do not interleave with the reduce side.
+			ht := s.m.P() + ep.Rank
+			hp.SetTrack(ht)
+			tr.NameTrack(ht, "rank"+strconv.Itoa(ep.Rank)+"-bcast")
+		}
+		var hchunk func(k int)
+		hchunk = func(k int) {
+			if k >= len(a.sp) {
+				a.pub[x].waitConsumedT(hp, len(a.sp)-1, func() { a.helperDone[x].Trigger() })
+				return
+			}
+			c := a.sp[k]
+			ti, par := k%2, (k/2)%2
+			interKids := a.emb[ti].inter.Children[x]
+			bcast := func() {
+				src := recv[c.off : c.off+c.n]
+				var child func(i int)
+				child = func(i int) {
+					if i >= len(interKids) {
+						a.pub[x].PublishT(hp, k, src, false, func() { hchunk(k + 1) })
+						return
+					}
+					ch := interKids[i]
+					a.resReady[ch].WaitT(hp, func() {
+						dst := a.resBuf[ch][c.off : c.off+c.n]
+						ep.PutT(hp, g.masterEp(ch), dst, src, nil, a.bArr[ti][ch][par], nil, func() {
+							child(i + 1)
+						})
+					})
+				}
+				child(0)
+			}
+			if x == a.emb[ti].inter.Root {
+				a.chunkDone[ti].WaitGET(hp, k/2+1, bcast)
+				return
+			}
+			a.bArr[ti][x][par].WaitValueT(hp, 1, bcast)
+		}
+		hchunk(0)
+	})
+
+	// Reduce side.
+	var chunk func(k int)
+	chunk = func(k int) {
+		if k >= len(a.sp) {
+			a.helperDone[x].WaitT(t, kont)
+			return
+		}
+		c := a.sp[k]
+		ti, par := k%2, (k/2)%2
+		interKids := a.emb[ti].inter.Children[x]
+		atRoot := x == a.emb[ti].inter.Root
+		tchunk := recv[c.off : c.off+c.n]
+		own := send[c.off : c.off+c.n]
+
+		finish := func(have bool) {
+			if !atRoot {
+				src := tchunk
+				if !have {
+					src = own
+				}
+				ep.WaitcntrT(t, a.credit[ti][x], 1, func() {
+					parent := g.masterEp(a.emb[ti].inter.Parent[x])
+					ep.PutT(t, parent, a.pslot[ti][x][par][:c.n], src, nil, a.arr[ti][x][par], nil, func() {
+						chunk(k + 1)
+					})
+				})
+				return
+			}
+			done := func() {
+				a.chunkDone[ti].Set(k/2 + 1)
+				chunk(k + 1)
+			}
+			if !have && c.n > 0 {
+				s.m.MemcpyT(t, g.lay.nodes[x], tchunk, own, done)
+				return
+			}
+			done()
+		}
+
+		var child func(i int, have bool)
+		child = func(i int, have bool) {
+			if i >= len(interKids) {
+				finish(have)
+				return
+			}
+			ch := interKids[i]
+			ep.WaitcntrT(t, a.arr[ti][ch][par], 1, func() {
+				slot := a.pslot[ti][ch][par][:c.n]
+				next := func() {
+					// The child's next send in this tree is chunk k+2;
+					// returning this credit enables the one after that.
+					if k+4 < len(a.sp) {
+						ep.PutZeroT(t, g.masterEp(ch), a.credit[ti][ch], func() { child(i+1, true) })
+						return
+					}
+					child(i+1, true)
+				}
+				if c.n > 0 {
+					if have {
+						a.ds.acc(tchunk, slot)
+					} else {
+						a.ds.into(tchunk, own, slot)
+					}
+					s.combineChargeT(t, c.n, a.ds.dt.Size(), next)
+					return
+				}
+				next()
+			})
+		}
+
+		a.rn[x].masterChunkT(t, k, tchunk, own, a.ds, func(have bool) {
+			child(0, have)
+		})
+	}
+	chunk(0)
+}

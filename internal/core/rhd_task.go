@@ -1,0 +1,142 @@
+package core
+
+import (
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// runT is rhdState.run for the Task engine: the same calls in the same
+// order, with every blocking primitive replaced by its *T counterpart.
+func (a *rhdState) runT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	g := a.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if l != 0 {
+		a.rn[x].workerT(t, l, send, a.sp, a.ds, func() {
+			var step func(k int)
+			step = func(k int) {
+				if k >= len(a.sp) {
+					kont()
+					return
+				}
+				c := a.sp[k]
+				a.pub[x].ConsumeT(t, l, k, recv[c.off:c.off+c.n], func() { step(k + 1) })
+			}
+			step(0)
+		})
+		return
+	}
+	a.resBuf[x] = recv
+	a.resReady[x].Trigger()
+	ep := g.s.dom.Endpoint(rank)
+	enable := g.s.quietNetT(ep, a.size)
+	a.masterT(t, ep, x, send, recv, func() {
+		a.pub[x].PublishT(t, 0, recv, false, func() {
+			a.pub[x].waitConsumedT(t, 0, func() {
+				enable()
+				kont()
+			})
+		})
+	})
+}
+
+// masterT is rhdState.master for the Task engine: the halving and
+// doubling loops become tail-recursive round functions.
+func (a *rhdState) masterT(t *sim.Task, ep *rma.Endpoint, x int, send, recv []byte, kont func()) {
+	g := a.g
+	s := g.s
+	nn := len(g.lay.nodes)
+	esize := a.ds.dt.Size()
+	elems := a.size / esize
+	rounds := len(a.halfArr[x])
+
+	unfold := func() {
+		if x+a.pow < nn {
+			// Return the full result to the folded-out node's recv buffer.
+			extra := x + a.pow
+			a.resReady[extra].WaitT(t, func() {
+				ep.PutT(t, g.masterEp(extra), a.resBuf[extra], recv[:a.size],
+					nil, a.resArr[extra], nil, kont)
+			})
+			return
+		}
+		kont()
+	}
+	var gather func(r int)
+	gather = func(r int) {
+		if r < 0 {
+			unfold()
+			return
+		}
+		d := a.pow >> (r + 1)
+		partner := x ^ d
+		lo, hi := a.segment(x, r+1, elems)
+		a.resReady[partner].WaitT(t, func() {
+			ep.PutT(t, g.masterEp(partner), a.resBuf[partner][lo*esize:hi*esize],
+				recv[lo*esize:hi*esize], nil, a.dblArr[partner][r], nil, func() {
+					ep.WaitcntrT(t, a.dblArr[x][r], 1, func() { gather(r - 1) })
+				})
+		})
+	}
+	var scatter func(r int)
+	scatter = func(r int) {
+		if r >= rounds {
+			gather(rounds - 1)
+			return
+		}
+		d := a.pow >> (r + 1)
+		partner := x ^ d
+		lo, hi := a.segment(x, r, elems)
+		mid := lo + (hi-lo)/2
+		sLo, sHi, kLo, kHi := mid, hi, lo, mid // distance bit clear: keep lower half
+		if x&d != 0 {
+			sLo, sHi, kLo, kHi = lo, mid, mid, hi
+		}
+		sb := recv[sLo*esize : sHi*esize]
+		ep.PutT(t, g.masterEp(partner), a.halfSlot[partner][r][:len(sb)], sb,
+			nil, a.halfArr[partner][r], nil, func() {
+				ep.WaitcntrT(t, a.halfArr[x][r], 1, func() {
+					if n := (kHi - kLo) * esize; n > 0 {
+						a.ds.acc(recv[kLo*esize:kHi*esize], a.halfSlot[x][r][:n])
+						s.combineChargeT(t, n, esize, func() { scatter(r + 1) })
+						return
+					}
+					scatter(r + 1)
+				})
+			})
+	}
+	foldIn := func() {
+		if x+a.pow < nn {
+			ep.WaitcntrT(t, a.foldArr[x], 1, func() {
+				if a.size > 0 {
+					a.ds.acc(recv, a.foldSlot[x])
+					s.combineChargeT(t, a.size, esize, func() { scatter(0) })
+					return
+				}
+				scatter(0)
+			})
+			return
+		}
+		scatter(0)
+	}
+	a.rn[x].masterChunkT(t, 0, recv, send, a.ds, func(have bool) {
+		next := func() {
+			if x >= a.pow {
+				// Fold out: hand the node partial to the peer, then receive
+				// the finished vector straight into recv.
+				peer := x - a.pow
+				ep.PutT(t, g.masterEp(peer), a.foldSlot[peer], recv[:a.size],
+					nil, a.foldArr[peer], nil, func() {
+						ep.WaitcntrT(t, a.resArr[x], 1, kont)
+					})
+				return
+			}
+			foldIn()
+		}
+		if !have && a.size > 0 {
+			s.m.MemcpyT(t, g.lay.nodes[x], recv, send, next) // single task on the node
+			return
+		}
+		next()
+	})
+}

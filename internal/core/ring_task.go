@@ -1,0 +1,105 @@
+package core
+
+import (
+	"srmcoll/internal/rma"
+	"srmcoll/internal/sim"
+)
+
+// runT is ringState.run for the Task engine: the same calls in the same
+// order, with every blocking primitive replaced by its *T counterpart.
+func (a *ringState) runT(t *sim.Task, rank int, send, recv []byte, kont func()) {
+	g := a.g
+	x := g.lay.ni[rank]
+	l := g.lay.li[rank]
+	if l != 0 {
+		a.rn[x].workerT(t, l, send, a.sp, a.ds, func() {
+			var step func(k int)
+			step = func(k int) {
+				if k >= len(a.sp) {
+					kont()
+					return
+				}
+				c := a.sp[k]
+				a.pub[x].ConsumeT(t, l, k, recv[c.off:c.off+c.n], func() { step(k + 1) })
+			}
+			step(0)
+		})
+		return
+	}
+	a.resBuf[x] = recv
+	a.resReady[x].Trigger()
+	ep := g.s.dom.Endpoint(rank)
+	enable := g.s.quietNetT(ep, a.size)
+	a.masterT(t, ep, x, send, recv, func() {
+		a.pub[x].PublishT(t, 0, recv, false, func() {
+			a.pub[x].waitConsumedT(t, 0, func() {
+				enable()
+				kont()
+			})
+		})
+	})
+}
+
+// masterT is ringState.master for the Task engine: the ring step loop
+// becomes a tail-recursive step function.
+func (a *ringState) masterT(t *sim.Task, ep *rma.Endpoint, x int, send, recv []byte, kont func()) {
+	g := a.g
+	s := g.s
+	nn := len(g.lay.nodes)
+	right := (x + 1) % nn
+	left := (x + nn - 1) % nn
+	steps := 2 * (nn - 1)
+	var step func(st int)
+	step = func(st int) {
+		if st >= steps {
+			kont()
+			return
+		}
+		sendIdx, recvIdx := a.stepBlocks(x, st)
+		sb := a.blk[sendIdx]
+		rb := a.blk[recvIdx]
+		ep.WaitcntrT(t, a.credit[x], 1, func() {
+			ep.PutT(t, g.masterEp(right), a.slot[right][st%2][:sb.n], recv[sb.off:sb.off+sb.n],
+				nil, a.arr[right][st%2], nil, func() {
+					ep.WaitcntrT(t, a.arr[x][st%2], 1, func() {
+						src := a.slot[x][st%2][:rb.n]
+						recredit := func() {
+							if st+2 < steps {
+								ep.PutZeroT(t, g.masterEp(left), a.credit[left], func() { step(st + 1) })
+								return
+							}
+							step(st + 1)
+						}
+						if st < nn-1 {
+							if rb.n > 0 {
+								a.ds.acc(recv[rb.off:rb.off+rb.n], src)
+								s.combineChargeT(t, rb.n, a.ds.dt.Size(), recredit)
+								return
+							}
+							recredit()
+							return
+						}
+						if rb.n > 0 {
+							s.m.MemcpyT(t, g.lay.nodes[x], recv[rb.off:rb.off+rb.n], src, recredit)
+							return
+						}
+						recredit()
+					})
+				})
+		})
+	}
+	a.rn[x].masterChunkT(t, 0, recv, send, a.ds, func(have bool) {
+		start := func() {
+			if nn == 1 {
+				kont()
+				return
+			}
+			step(0)
+		}
+		if !have && a.size > 0 {
+			s.m.MemcpyT(t, g.lay.nodes[x], recv, send, start) // single task on the node
+			return
+		}
+		start()
+	})
+}

@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"srmcoll"
+)
+
+// tinyTrainConfig keeps the training-workload tests fast: one small
+// topology, two bucket sizes, all four allreduce families, short steps.
+func tinyTrainConfig() TrainConfig {
+	return TrainConfig{
+		Topos:       []string{"2x2"},
+		BucketBytes: []int{4 << 10, 32 << 10},
+		Algs: []srmcoll.AllreduceAlg{srmcoll.AllreduceAuto, srmcoll.AllreduceRing,
+			srmcoll.AllreduceRHD, srmcoll.AllreduceDualRoot},
+		Buckets: 3,
+		Steps:   1,
+		Faulty:  true,
+	}
+}
+
+func TestRunTrainReportShape(t *testing.T) {
+	tc := tinyTrainConfig()
+	rep, err := RunTrain(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(tc.Topos) * len(tc.Algs) * len(tc.BucketBytes) * 2 // fault-free + faulty
+	if len(rep.Entries) != want {
+		t.Fatalf("got %d entries, want %d", len(rep.Entries), want)
+	}
+	for _, e := range rep.Entries {
+		if e.CommUS <= 0 || e.StepUS <= 0 {
+			t.Errorf("%s %dB faulty=%v: non-positive times comm=%v step=%v",
+				e.Alg, e.BucketBytes, e.Faulty, e.CommUS, e.StepUS)
+		}
+		if e.HiddenPct < 0 || e.HiddenPct > 100 {
+			t.Errorf("%s %dB faulty=%v: hidden pct %v out of range",
+				e.Alg, e.BucketBytes, e.Faulty, e.HiddenPct)
+		}
+		// With per-bucket compute calibrated to the bucket's blocking comm
+		// time, requests pipeline behind the later buckets' backprop: the
+		// structural hidden fraction is (Buckets-1)/Buckets, here 2/3. The
+		// acceptance bar (>= 60% hidden somewhere) must clear even on this
+		// tiny shape.
+		if !e.Faulty && e.HiddenPct < 60 {
+			t.Errorf("%s %dB: only %.1f%% hidden, want >= 60%%", e.Alg, e.BucketBytes, e.HiddenPct)
+		}
+	}
+	best, ok := rep.Best(4)
+	if !ok {
+		t.Fatal("Best(4) found no fault-free entry")
+	}
+	for _, e := range rep.Entries {
+		if e.Ranks == 4 && !e.Faulty && e.HiddenPct > best.HiddenPct {
+			t.Errorf("Best(4) returned %.2f%%, but %s %dB has %.2f%%",
+				best.HiddenPct, e.Alg, e.BucketBytes, e.HiddenPct)
+		}
+	}
+}
+
+func TestRunTrainRejectsBadTopo(t *testing.T) {
+	tc := tinyTrainConfig()
+	tc.Topos = []string{"nonsense"}
+	if _, err := RunTrain(tc); err == nil {
+		t.Fatal("RunTrain accepted a malformed topology spec")
+	}
+}
+
+// TestTrainWorkerCountInvisible extends the repo's -j guarantee to the
+// training sweep: the JSON report, the rendered figures, and the headline
+// must be byte-identical whether measured serially or by 8 workers.
+func TestTrainWorkerCountInvisible(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	tc := tinyTrainConfig()
+
+	render := func() string {
+		rep, err := RunTrain(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(data)
+		for _, tab := range FigTrain(tc, rep) {
+			text += tab.Text()
+		}
+		return text + TrainHeadline(rep)
+	}
+
+	SetWorkers(1)
+	out1 := render()
+	SetWorkers(8)
+	out8 := render()
+	if out1 != out8 {
+		t.Errorf("training sweep differs between -j 1 and -j 8:\n%q\n%q", out1, out8)
+	}
+}
+
+func TestFigTrainShape(t *testing.T) {
+	tc := tinyTrainConfig()
+	rep, err := RunTrain(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabs := FigTrain(tc, rep)
+	if len(tabs) != 2*len(tc.Topos) {
+		t.Fatalf("got %d tables, want %d (step + hidden per topology)", len(tabs), 2*len(tc.Topos))
+	}
+	for _, tab := range tabs {
+		if len(tab.Cols) != 1+2*len(tc.Algs) {
+			t.Errorf("%s: %d columns, want %d", tab.ID, len(tab.Cols), 1+2*len(tc.Algs))
+		}
+		if len(tab.Rows) != len(tc.BucketBytes) {
+			t.Errorf("%s: %d rows, want %d", tab.ID, len(tab.Rows), len(tc.BucketBytes))
+		}
+	}
+	head := TrainHeadline(rep)
+	if !strings.Contains(head, "best overlap at 4 ranks") {
+		t.Errorf("headline misses the 4-rank line:\n%s", head)
+	}
+}

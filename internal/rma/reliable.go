@@ -237,13 +237,26 @@ func (d *Domain) reliablePut(src, target *Endpoint, par int, dst, snap []byte, o
 				m.Env.At(arrival+v.Delay+wireLat, handleArrival)
 			}
 		}
-		// Retransmit on ack timeout, doubling up to the backoff cap.
+		// Retransmit on ack timeout, doubling up to the backoff cap — but
+		// never before this attempt could possibly have been acked: the
+		// data must serialize onto the wire and arrive (arrival already
+		// includes adapter queueing), be delivered at the target, and the
+		// ack must cross back. A fixed timeout below that bound — easy to
+		// configure when one plan covers both 64-byte and megabyte puts —
+		// would retransmit every large put unconditionally, and since each
+		// retransmit reserves the adapter for the full serialization time
+		// the storm compounds until the run live-locks.
+		floor := (arrival - m.Env.Now()) + m.Cfg.InterruptCost + m.Cfg.RecvOverhead +
+			m.Cfg.StarvePenalty + m.Cfg.NetLatencyOf(target.Node, src.Node) + m.Cfg.NetPktOverhead
 		timeout := d.ackTimeout
 		for i := 0; i < try && timeout < d.backoffCap; i++ {
 			timeout *= 2
 		}
 		if timeout > d.backoffCap {
 			timeout = d.backoffCap
+		}
+		if timeout < floor {
+			timeout = floor
 		}
 		m.Env.After(timeout, func() {
 			if acked {

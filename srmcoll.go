@@ -122,10 +122,11 @@ func (im Impl) String() string {
 // Variant tunes SRM algorithm choices (ablations); the zero value is the
 // paper's configuration.
 type Variant struct {
-	InterTree      tree.Kind // inter-node tree shape (default binomial)
-	TreeSMPBcst    bool      // tree-based SMP broadcast instead of flat
-	BarrierSMPBcst bool      // barrier-arbitrated shared buffers (§4's contrast)
-	KeepInterrupts bool      // skip the §2.3 interrupt management
+	InterTree      tree.Kind    // inter-node tree shape (default binomial)
+	Allreduce      AllreduceAlg // allreduce algorithm family (default auto)
+	TreeSMPBcst    bool         // tree-based SMP broadcast instead of flat
+	BarrierSMPBcst bool         // barrier-arbitrated shared buffers (§4's contrast)
+	KeepInterrupts bool         // skip the §2.3 interrupt management
 }
 
 // TreeKind values for Variant.InterTree.
@@ -136,6 +137,31 @@ const (
 	Multilevel = tree.Multilevel // hierarchy-aware (Karonis-style) tree
 	Bine       = tree.Bine       // negabinary-distance (De Sensi-style) tree
 )
+
+// AllreduceAlg selects the inter-node allreduce algorithm family for
+// Variant.Allreduce. The SMP reduce/broadcast stages are shared; the
+// family only changes the exchange between node masters.
+type AllreduceAlg = core.Alg
+
+// AllreduceAlg values for Variant.Allreduce.
+const (
+	// AllreduceAuto is the paper's size switch: recursive doubling up to
+	// 16 KB, the Figure-5 four-stage chunk pipeline above.
+	AllreduceAuto = core.AlgAuto
+	// AllreduceRing is the bandwidth-optimal ring (reduce-scatter followed
+	// by allgather around the node masters).
+	AllreduceRing = core.AlgRing
+	// AllreduceRHD is Rabenseifner's recursive halving/doubling with
+	// pre/post fold-in for non-power-of-two node counts.
+	AllreduceRHD = core.AlgRHD
+	// AllreduceDualRoot is Träff's doubly-pipelined dual-root scheme:
+	// pipeline chunks alternate between two trees with different roots.
+	AllreduceDualRoot = core.AlgDualRoot
+)
+
+// ParseAllreduceAlg parses an AllreduceAlg spelling ("auto", "ring",
+// "rhd", "dualroot"); the empty string is auto.
+func ParseAllreduceAlg(s string) (AllreduceAlg, error) { return core.ParseAlg(s) }
 
 // FaultPlan describes deterministic fault injection for a run: seeded
 // per-channel put drop/duplicate/delay faults, interrupt storms, per-task
@@ -298,6 +324,26 @@ func (cl *Cluster) treeFor() func(op string, size int) tree.Kind {
 			return k
 		}
 		return fallback
+	}
+}
+
+// algFor resolves the tuned allreduce-algorithm selector for this cluster,
+// or nil when the static Variant.Allreduce applies: tuning is enabled, the
+// variant does not pick a family explicitly, and the table covers this
+// topology.
+func (cl *Cluster) algFor() func(size int) core.Alg {
+	if cl.tuned == nil || cl.variant.Allreduce != AllreduceAuto {
+		return nil
+	}
+	e := cl.tuned.Topo(cl.cfg.TopoKey())
+	if e == nil {
+		return nil
+	}
+	return func(size int) core.Alg {
+		if a, ok := e.LookupAlg("allreduce", size); ok {
+			return a
+		}
+		return AllreduceAuto
 	}
 }
 
@@ -843,6 +889,8 @@ func (cl *Cluster) Run(impl Impl, body func(*Comm)) (*Result, error) {
 			BarrierSMPBcst: cl.variant.BarrierSMPBcst,
 			KeepInterrupts: cl.variant.KeepInterrupts,
 			TreeFor:        cl.treeFor(),
+			AllreduceAlg:   cl.variant.Allreduce,
+			AlgFor:         cl.algFor(),
 		})}
 	case IBMMPI:
 		coll = baselineAdapter{baseline.New(m, baseline.IBM)}

@@ -51,6 +51,10 @@ func decodeScenario(data []byte) confScenario {
 		}
 		sc.steps = append(sc.steps, st)
 	}
+	// Drawn after the step list, like genScenario, so pre-existing corpus
+	// inputs keep their exact shapes (trailing zero bytes decode to Auto).
+	sc.alg = []AllreduceAlg{AllreduceAuto, AllreduceRing,
+		AllreduceRHD, AllreduceDualRoot}[next()%4]
 	return sc
 }
 
@@ -59,6 +63,11 @@ func FuzzCollectives(f *testing.F) {
 	f.Add([]byte{1, 3, 0, 1, 1, 0, 1, 3, 16, 2, 2, 0})
 	f.Add([]byte{0, 2, 2, 2, 0, 1, 2, 8, 24, 0, 3, 1, 10, 9, 4, 6})
 	f.Add([]byte{1, 1, 1, 0, 1, 0, 0, 7, 31, 1, 0, 2})
+	// Seeds steering the three explicit allreduce families (op 3) through
+	// split/non-blocking paths.
+	f.Add([]byte{1, 3, 0, 1, 1, 0, 1, 0, 3, 16, 2, 2, 0, 1})
+	f.Add([]byte{1, 3, 0, 2, 1, 1, 2, 0, 3, 24, 0, 3, 2})
+	f.Add([]byte{1, 1, 0, 0, 1, 0, 1, 0, 3, 9, 4, 1, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		checkScenario(t, decodeScenario(data))
 	})

@@ -1,0 +1,99 @@
+package srmcoll
+
+import "testing"
+
+// TestTraceGoldenTrainStep pins the full event timeline of a miniature
+// ML-training step on 2 nodes: two 64-byte gradient buckets, each produced
+// by a backprop Compute phase and immediately issued as a non-blocking
+// allreduce, with one Wait barrier before the optimizer. The first
+// bucket's allreduce must run entirely behind the second bucket's compute
+// (hidden), while the second bucket has no compute left to hide behind
+// (exposed) — the structural (B-1)/B overlap the training workload in
+// internal/exp measures at scale. Regenerate the golden by printing
+// res.Trace.TimelineText() if an intentional change shifts it.
+func TestTraceGoldenTrainStep(t *testing.T) {
+	const (
+		buckets  = 2
+		bytes    = 64
+		backprop = 50.0
+	)
+	res := tracedRun(t, 2, 1, func(c *Comm) {
+		sends := make([][]byte, buckets)
+		recvs := make([][]byte, buckets)
+		for b := range sends {
+			sends[b] = make([]byte, bytes)
+			recvs[b] = make([]byte, bytes)
+		}
+		reqs := make([]*Request, 0, buckets)
+		for b := 0; b < buckets; b++ {
+			c.Compute(backprop)
+			reqs = append(reqs, c.IAllreduce(sends[b], recvs[b], Float64, Sum))
+		}
+		for _, rq := range reqs {
+			rq.Wait()
+		}
+	})
+	const golden = "" +
+		"    50.000     50.000  rank0          issue:iallreduce 64B\n" +
+		"    50.000     50.000  rank1          issue:iallreduce 64B\n" +
+		"    50.000     66.652  rank0.req0     iallreduce 64B\n" +
+		"    50.000     66.652  rank1.req0     iallreduce 64B\n" +
+		"    53.600     54.386  net/g2           put:inject 64B\n" +
+		"    53.600     54.386  net/g3           put:inject 64B\n" +
+		"    53.600     66.086  rank0.req0       wait:arrive\n" +
+		"    53.600     66.086  rank1.req0       wait:arrive\n" +
+		"    54.386     62.886  net/g2           put:wire 64B\n" +
+		"    54.386     62.886  net/g3           put:wire 64B\n" +
+		"    62.886     66.086  net/g2           put:deliver:poll\n" +
+		"    62.886     66.086  net/g3           put:deliver:poll\n" +
+		"   100.000    100.000  rank0          issue:iallreduce 64B\n" +
+		"   100.000    100.000  rank0          wait:iallreduce 64B\n" +
+		"   100.000    116.652  rank0          wait:iallreduce 64B\n" +
+		"   100.000    100.000  rank1          issue:iallreduce 64B\n" +
+		"   100.000    100.000  rank1          wait:iallreduce 64B\n" +
+		"   100.000    116.652  rank1          wait:iallreduce 64B\n" +
+		"   100.000    116.652  rank0.req1     iallreduce 64B\n" +
+		"   100.000    116.652  rank1.req1     iallreduce 64B\n" +
+		"   103.600    104.386  net/g6           put:inject 64B\n" +
+		"   103.600    104.386  net/g7           put:inject 64B\n" +
+		"   103.600    116.086  rank0.req1       wait:arrive\n" +
+		"   103.600    116.086  rank1.req1       wait:arrive\n" +
+		"   104.386    112.886  net/g6           put:wire 64B\n" +
+		"   104.386    112.886  net/g7           put:wire 64B\n" +
+		"   112.886    116.086  net/g6           put:deliver:poll\n" +
+		"   112.886    116.086  net/g7           put:deliver:poll\n"
+	if got := res.Trace.TimelineText(); got != golden {
+		t.Fatalf("train-step timeline changed:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+
+	reqs := res.Trace.OverlapReport()
+	if len(reqs) != 2*buckets {
+		t.Fatalf("OverlapReport has %d requests, want %d", len(reqs), 2*buckets)
+	}
+	var hidden, lifetime float64
+	for _, r := range reqs {
+		if r.Name != "iallreduce" || r.Bytes != bytes {
+			t.Errorf("request %+v: want iallreduce %dB", r, bytes)
+		}
+		if r.Issued < 2*backprop { // first bucket: runs behind the second bucket's backprop
+			if r.Exposed != 0 {
+				t.Errorf("bucket 0 track %d: exposed %.3f, want 0", r.Track, r.Exposed)
+			}
+			if r.Hidden != r.End-r.Issued {
+				t.Errorf("bucket 0 track %d: hidden %.3f, want full lifetime %.3f",
+					r.Track, r.Hidden, r.End-r.Issued)
+			}
+		} else { // last bucket: nothing left to hide behind
+			if r.Exposed <= 0 {
+				t.Errorf("bucket 1 track %d: exposed %.3f, want > 0", r.Track, r.Exposed)
+			}
+		}
+		hidden += r.Hidden
+		lifetime += r.End - r.Issued
+	}
+	// The step-level headline: with 2 buckets, at least the first of the
+	// two request lifetimes is hidden.
+	if pct := 100 * hidden / lifetime; pct < 40 {
+		t.Errorf("train step hid %.1f%% of communication, want >= 40%%", pct)
+	}
+}

@@ -410,6 +410,8 @@ func (cl *Cluster) RunT(impl Impl, body func(tc *TComm, done func())) (*Result, 
 		BarrierSMPBcst: cl.variant.BarrierSMPBcst,
 		KeepInterrupts: cl.variant.KeepInterrupts,
 		TreeFor:        cl.treeFor(),
+		AllreduceAlg:   cl.variant.Allreduce,
+		AlgFor:         cl.algFor(),
 	})})
 	if cl.tracing {
 		env.Trace = trace.New(env.Now)

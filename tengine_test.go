@@ -543,8 +543,12 @@ func TestTaskEngineBackpressure(t *testing.T) {
 // bit-identical fault for fault.
 func TestTaskEngineWireFaults(t *testing.T) {
 	cl := mustCluster(t, 2, 4)
+	// The probabilities are high because the scenario's wire traffic is a
+	// handful of puts: the retransmit-timer floor keeps clean attempts from
+	// spuriously multiplying, so every injected fault must come from a
+	// first-attempt draw.
 	cl.SetFaultPlan(FaultPlan{
-		Seed: 11, Drop: 0.1, Dup: 0.1, Delay: 0.3, DelayMax: 4,
+		Seed: 11, Drop: 0.3, Dup: 0.25, Delay: 0.5, DelayMax: 4,
 		Reliable: true, AckTimeout: 50, Deadline: 5e6,
 	})
 	rp, _ := runBothEngines(t, cl, SRM, engCollectiveScenarios()["bcast-pipelined"])
